@@ -1,0 +1,43 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one of the paper's tables/figures: it runs
+the experiment sweep once inside the timed section (``pedantic`` with a
+single round — the interesting number is the sweep's cost, not its
+variance), prints the figure's rows, and asserts the qualitative shape
+the paper reports.
+
+Default horizons are reduced so ``pytest benchmarks/ --benchmark-only``
+finishes in minutes; set ``REPRO_FULL=1`` for the paper's 96 h horizon
+(and the stricter shape assertions that only emerge at that scale).
+"""
+
+import os
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import pytest  # noqa: E402
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+def horizon(fast_hours: float) -> float:
+    return 96.0 if full_scale() else fast_hours
+
+
+@pytest.fixture()
+def figure_bench(benchmark, capsys):
+    """Run a figure-regeneration callable once, timed, and print it."""
+
+    def run(fn):
+        table = benchmark.pedantic(fn, rounds=1, iterations=1)
+        benchmark.extra_info["rows"] = len(table.rows)
+        benchmark.extra_info["full_scale"] = full_scale()
+        return table
+
+    return run

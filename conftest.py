@@ -1,0 +1,13 @@
+"""Repo-level pytest configuration.
+
+Prepends ``src/`` to ``sys.path`` so the test and benchmark suites run
+against the working tree even when the package has not been installed
+(handy in offline environments where editable installs are awkward).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

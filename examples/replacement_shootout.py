@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Replacement-policy shootout across access patterns.
+
+Runs every registered replacement policy (the paper's six plus the
+extension baselines CLOCK, FIFO and Random) against three heat
+patterns — static 80/20 (SH), changing hot set (CSH) and the cyclic
+LRU-k stress pattern — and prints a league table per pattern.
+
+This is the paper's Experiments #2-#4 condensed into one script, plus
+policies the paper only surveyed.
+
+Run:  python examples/replacement_shootout.py [simulated-hours]
+"""
+
+import sys
+
+from repro import SimulationConfig, run_simulation
+
+POLICIES = [
+    "lru",
+    "lru-3",
+    "lrd",
+    "mean",
+    "window-10",
+    "ewma-0.5",
+    "clock",
+    "fifo",
+    "random",
+]
+
+PATTERNS = ["SH", "CSH", "cyclic"]
+
+
+def main() -> None:
+    hours = float(sys.argv[1]) if len(sys.argv) > 1 else 6.0
+    print(
+        f"Replacement shootout: HC granularity, AQ/Poisson, U=0.1, "
+        f"10 clients, {hours:g} simulated hours\n"
+    )
+    for pattern in PATTERNS:
+        results = []
+        for policy in POLICIES:
+            result = run_simulation(
+                SimulationConfig(
+                    granularity="HC",
+                    replacement=policy,
+                    heat=pattern,
+                    update_probability=0.1,
+                    horizon_hours=hours,
+                    seed=11,
+                )
+            )
+            results.append((policy, result))
+        results.sort(key=lambda pair: -pair[1].hit_ratio)
+        print(f"=== {pattern} ===")
+        print(f"{'policy':<12} {'hit':>8} {'resp(s)':>9} {'err':>8}")
+        for policy, result in results:
+            print(
+                f"{policy:<12} {result.hit_ratio:8.2%} "
+                f"{result.response_time:9.3f} {result.error_rate:8.2%}"
+            )
+        best = results[0][0]
+        print(f"-> best on {pattern}: {best}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one sweep.
+
+Writes ``results/reproduction.json`` (one record per run) and
+``results/reproduction.txt`` (rendered figure tables).  Horizons are
+configurable; the defaults trade simulated time for wall-clock so the
+whole sweep finishes in under an hour on one core.  ``--full`` runs
+everything at the paper's 96 simulated hours (several CPU-hours).
+
+Usage::
+
+    python scripts/reproduce_paper.py            # reduced horizons
+    python scripts/reproduce_paper.py --full     # paper-scale
+    python scripts/reproduce_paper.py --only 1 4 # selected experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments import (  # noqa: E402
+    exp1_granularity,
+    exp2_replacement_ro,
+    exp3_replacement_rw,
+    exp4_adaptivity,
+    exp5_coherence,
+    exp6_disconnect,
+    report,
+)
+from repro.experiments.framework import ExperimentTable, execute  # noqa: E402
+from repro.experiments.tables import render_table1  # noqa: E402
+
+#: Reduced horizons per experiment (hours).  Experiment #4's change-rate
+#: sweep needs several hot-set eras (an era is 8-19 h of client time at
+#: the paper's change rates), so it gets the longest window.
+REDUCED_HORIZONS = {
+    "exp1": 16.0,
+    "exp2": 24.0,
+    "exp3": 16.0,
+    "exp4_f5": 48.0,
+    "exp4_f6": 24.0,
+    "exp5": 16.0,
+    "exp6": 16.0,
+}
+FULL_HORIZON = 96.0
+
+
+def run_experiment(name, horizon, seed, progress=True):
+    builders = {
+        "exp1": (exp1_granularity.build_runs, "exp1",
+                 exp1_granularity.TITLE),
+        "exp2": (exp2_replacement_ro.build_runs, "exp2",
+                 exp2_replacement_ro.TITLE),
+        "exp3": (exp3_replacement_rw.build_runs, "exp3",
+                 exp3_replacement_rw.TITLE),
+        "exp4_f5": (exp4_adaptivity.build_change_rate_runs, "exp4-f5",
+                    exp4_adaptivity.TITLE_F5),
+        "exp4_f6": (exp4_adaptivity.build_cyclic_runs, "exp4-f6",
+                    exp4_adaptivity.TITLE_F6),
+        "exp5": (exp5_coherence.build_runs, "exp5", exp5_coherence.TITLE),
+        "exp6": (None, "exp6", exp6_disconnect.TITLE),
+    }
+    build, experiment_id, title = builders[name]
+    if name == "exp6":
+        runs = exp6_disconnect.build_duration_runs(horizon, seed)
+        runs += exp6_disconnect.build_client_count_runs(horizon, seed)
+    else:
+        runs = build(horizon, seed)
+    return execute(experiment_id, title, runs, progress=progress)
+
+
+RENDER_DIMS = {
+    "exp1": ["query_kind", "arrival", "heat", "granularity"],
+    "exp2": ["heat", "query_kind", "arrival", "policy"],
+    "exp3": ["heat", "query_kind", "arrival", "policy"],
+    "exp4_f5": ["change_rate", "policy"],
+    "exp4_f6": ["policy"],
+    "exp5": ["beta", "update_probability", "granularity"],
+    "exp6": ["granularity", "duration_hours", "disconnected_clients"],
+}
+
+RENDER_METRICS = {
+    "exp6": (
+        "disconnected_error_rate",
+        "error_rate",
+        "hit_ratio",
+    ),
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run at the paper's 96 h horizon")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="experiment keys to run "
+                             "(1 2 3 4 5 6, or exp4_f5 style)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out-dir", default=str(REPO_ROOT / "results"))
+    args = parser.parse_args()
+
+    keys = list(REDUCED_HORIZONS)
+    if args.only:
+        wanted = set()
+        for token in args.only:
+            if token in REDUCED_HORIZONS:
+                wanted.add(token)
+            elif token == "4":
+                wanted.update(("exp4_f5", "exp4_f6"))
+            else:
+                wanted.add(f"exp{token}")
+        keys = [k for k in keys if k in wanted]
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    records = []
+    rendered = [render_table1(), ""]
+
+    started = time.time()
+    for key in keys:
+        horizon = FULL_HORIZON if args.full else REDUCED_HORIZONS[key]
+        print(f"=== {key} @ {horizon:g} h ===", file=sys.stderr, flush=True)
+        table: ExperimentTable = run_experiment(key, horizon, args.seed)
+        for row in table.rows:
+            record = {"experiment": key, "horizon_hours": horizon}
+            record.update(row.dims)
+            record.update(
+                {
+                    "hit_ratio": row.hit_ratio,
+                    "response_time": row.response_time,
+                    "error_rate": row.error_rate,
+                    "disconnected_error_rate": row.disconnected_error_rate,
+                    "queries": row.queries,
+                }
+            )
+            records.append(record)
+        metrics = RENDER_METRICS.get(
+            key, ("hit_ratio", "response_time", "error_rate")
+        )
+        rendered.append(
+            report.render_rows(table, RENDER_DIMS[key], metrics=metrics)
+        )
+        rendered.append("")
+        # Flush incrementally so partial sweeps are still useful.
+        (out_dir / "reproduction.json").write_text(
+            json.dumps(records, indent=1)
+        )
+        (out_dir / "reproduction.txt").write_text("\n".join(rendered))
+
+    elapsed = time.time() - started
+    print(f"done in {elapsed / 60:.1f} min; results in {out_dir}",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

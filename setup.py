@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e . --no-use-pep517`` works in offline environments
+that lack the ``wheel`` package (PEP 660 editable installs need it).
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

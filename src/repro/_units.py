@@ -1,0 +1,45 @@
+"""Unit helpers and physical constants used across the simulation.
+
+All simulated time is in **seconds**, all sizes in **bytes** and all
+bandwidths in **bits per second**, matching the units in Section 4 of the
+paper (19.2 Kbps wireless channels, 40 Mbps disk, 100 Mbps memory).
+"""
+
+from __future__ import annotations
+
+#: Bits per byte; pulled into a constant so size/bandwidth conversions read
+#: as intent rather than magic numbers.
+BITS_PER_BYTE = 8
+
+#: One kilobit per second, in bits per second.
+KBPS = 1_000
+#: One megabit per second, in bits per second.
+MBPS = 1_000_000
+
+#: Seconds per minute/hour/day for readable horizon arithmetic.
+MINUTE = 60.0
+HOUR = 3_600.0
+DAY = 86_400.0
+
+
+def transmission_time(size_bytes: float, bandwidth_bps: float) -> float:
+    """Return the seconds needed to move ``size_bytes`` at ``bandwidth_bps``.
+
+    >>> transmission_time(1024, 19_200)  # one object over a wireless channel
+    0.4266666666666667
+    """
+    if bandwidth_bps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_bps!r}")
+    if size_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {size_bytes!r}")
+    return (size_bytes * BITS_PER_BYTE) / bandwidth_bps
+
+
+def hours(value: float) -> float:
+    """Convert hours to simulation seconds."""
+    return value * HOUR
+
+
+def days(value: float) -> float:
+    """Convert days to simulation seconds."""
+    return value * DAY

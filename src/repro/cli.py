@@ -1,0 +1,192 @@
+"""Command-line driver: run single simulations or whole experiments.
+
+Examples::
+
+    repro-mobicache table1
+    repro-mobicache run --granularity HC --replacement ewma-0.5 --hours 8
+    repro-mobicache experiment 1 --hours 8
+    repro-mobicache experiment all --hours 4
+    repro-mobicache list-policies
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as t
+
+from repro.core.replacement import available_policies
+from repro.experiments import report
+from repro.experiments.config import (
+    ARRIVAL_PATTERNS,
+    GRANULARITIES,
+    HEAT_PATTERNS,
+    QUERY_KINDS,
+    SimulationConfig,
+)
+from repro.experiments.framework import default_horizon_hours
+from repro.experiments.runner import run_simulation
+from repro.experiments.tables import render_table1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mobicache",
+        description=(
+            "Reproduction of 'Cache Management for Mobile Databases' "
+            "(Chan, Si & Leong, ICDE 1998)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one simulation")
+    run_parser.add_argument("--granularity", choices=GRANULARITIES,
+                            default="HC")
+    run_parser.add_argument("--replacement", default="ewma-0.5")
+    run_parser.add_argument("--query-kind", choices=QUERY_KINDS,
+                            default="AQ")
+    run_parser.add_argument("--arrival", choices=ARRIVAL_PATTERNS,
+                            default="poisson")
+    run_parser.add_argument("--heat", choices=HEAT_PATTERNS, default="SH")
+    run_parser.add_argument("--update-probability", type=float, default=0.1)
+    run_parser.add_argument("--beta", type=float, default=0.0)
+    run_parser.add_argument("--clients", type=int, default=10)
+    run_parser.add_argument("--disconnected-clients", type=int, default=0)
+    run_parser.add_argument("--disconnection-hours", type=float, default=0.0)
+    run_parser.add_argument("--hours", type=float, default=None,
+                            help="simulated hours (default: 8, or 96 "
+                                 "with REPRO_FULL=1)")
+    run_parser.add_argument("--seed", type=int, default=42)
+
+    exp_parser = sub.add_parser(
+        "experiment", help="run a paper experiment (1-6 or 'all')"
+    )
+    exp_parser.add_argument("number", help="experiment number 1-6 or 'all'")
+    exp_parser.add_argument("--hours", type=float, default=None)
+    exp_parser.add_argument("--seed", type=int, default=42)
+    exp_parser.add_argument("--quiet", action="store_true",
+                            help="suppress per-run progress on stderr")
+
+    sub.add_parser("table1", help="print Table 1 (parameter settings)")
+    sub.add_parser("list-policies", help="list replacement policies")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    hours = args.hours or default_horizon_hours()
+    config = SimulationConfig(
+        granularity=args.granularity,
+        replacement=args.replacement,
+        query_kind=args.query_kind,
+        arrival=args.arrival,
+        heat=args.heat,
+        update_probability=args.update_probability,
+        beta=args.beta,
+        num_clients=args.clients,
+        disconnected_clients=args.disconnected_clients,
+        disconnection_hours=args.disconnection_hours,
+        horizon_hours=hours,
+        seed=args.seed,
+    )
+    result = run_simulation(config)
+    print(f"configuration : {config.label()}")
+    print(f"horizon       : {hours:g} simulated hours")
+    print(f"queries       : {result.summary.total_queries}")
+    print(f"hit ratio     : {result.hit_ratio:.2%}")
+    print(f"response time : {result.response_time:.3f} s")
+    print(f"error rate    : {result.error_rate:.2%}")
+    print(f"uplink util   : {result.uplink_utilization:.2%}")
+    print(f"downlink util : {result.downlink_utilization:.2%}")
+    return 0
+
+
+def _run_experiment(number: str, hours: float | None, seed: int,
+                    progress: bool) -> None:
+    from repro.experiments import (
+        exp1_granularity,
+        exp2_replacement_ro,
+        exp3_replacement_rw,
+        exp4_adaptivity,
+        exp5_coherence,
+        exp6_disconnect,
+    )
+
+    if number == "1":
+        table = exp1_granularity.run(hours, seed, progress)
+        print(report.render_rows(
+            table, ["query_kind", "arrival", "heat", "granularity"]
+        ))
+    elif number == "2":
+        table = exp2_replacement_ro.run(hours, seed, progress)
+        print(report.render_rows(
+            table, ["heat", "query_kind", "arrival", "policy"],
+            metrics=("hit_ratio", "response_time"),
+        ))
+    elif number == "3":
+        table = exp3_replacement_rw.run(hours, seed, progress)
+        print(report.render_rows(
+            table, ["heat", "query_kind", "arrival", "policy"],
+            metrics=("hit_ratio", "response_time"),
+        ))
+    elif number == "4":
+        table = exp4_adaptivity.run_change_rates(hours, seed, progress)
+        print(report.render_rows(
+            table, ["change_rate", "policy"],
+            metrics=("hit_ratio", "response_time"),
+        ))
+        print()
+        cyclic = exp4_adaptivity.run_cyclic(hours, seed, progress)
+        print(report.render_rows(
+            cyclic, ["policy"], metrics=("hit_ratio", "response_time")
+        ))
+    elif number == "5":
+        table = exp5_coherence.run(hours, seed, progress)
+        print(report.render_rows(
+            table, ["beta", "update_probability", "granularity"]
+        ))
+    elif number == "6":
+        table = exp6_disconnect.run_durations(hours, seed, progress)
+        print(report.render_rows(
+            table, ["granularity", "duration_hours"],
+            metrics=("disconnected_error_rate", "error_rate", "hit_ratio"),
+        ))
+        print()
+        counts = exp6_disconnect.run_client_counts(hours, seed, progress)
+        print(report.render_rows(
+            counts, ["granularity", "disconnected_clients"],
+            metrics=("error_rate", "hit_ratio"),
+        ))
+    else:
+        raise SystemExit(f"unknown experiment {number!r}; use 1-6 or 'all'")
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    numbers = (
+        ["1", "2", "3", "4", "5", "6"]
+        if args.number == "all"
+        else [args.number]
+    )
+    for number in numbers:
+        _run_experiment(number, args.hours, args.seed, not args.quiet)
+        print()
+    return 0
+
+
+def main(argv: t.Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "table1":
+        print(render_table1())
+        return 0
+    if args.command == "list-policies":
+        for name in available_policies():
+            print(name)
+        return 0
+    raise SystemExit(2)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Mobile client: cache-backed query execution over the wireless link."""
+
+from repro.client.mobile_client import (
+    DEFAULT_CLIENT_BUFFER_OBJECTS,
+    DEFAULT_CLIENT_CACHE_OBJECTS,
+    MobileClient,
+)
+
+__all__ = [
+    "DEFAULT_CLIENT_BUFFER_OBJECTS",
+    "DEFAULT_CLIENT_CACHE_OBJECTS",
+    "MobileClient",
+]

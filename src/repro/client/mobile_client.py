@@ -1,0 +1,430 @@
+"""The mobile client process.
+
+Each client runs an open-arrival query loop: queries are *issued* on the
+arrival process's schedule and executed sequentially, so a burst of
+arrivals backs up at the client and the response time (measured from the
+issue moment, as in the paper) includes that queueing delay.
+
+Executing a query:
+
+1. **Probe** — every attribute access is checked against the storage
+   cache at the query's granularity.  Valid entries are read locally
+   (hit; checked against the error oracle), expired or absent items go
+   on the *needed* list, valid non-updated items go on the *existent*
+   list so the server will not retransmit them.
+2. **Remote round** — if connected and anything is needed or updated,
+   a request crosses the shared uplink, the server processes it, and the
+   reply queues on the shared downlink.
+3. **Absorb** — returned items (including HC prefetches) are admitted to
+   the storage cache, evicting victims chosen by the replacement policy.
+
+During disconnection the probe serves even *expired* entries (counted as
+misses and checked for errors — the paper's Experiment #6) and items not
+cached at all go unanswered.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.core.coherence import ErrorOracle
+from repro.core.granularity import CacheKey, CachingGranularity
+from repro.core.invalidation import (
+    DEFAULT_IR_INTERVAL,
+    INVALIDATION_REPORT,
+    InvalidationListener,
+    InvalidationReport,
+    REFRESH_TIME,
+)
+from repro.core.replacement import create_policy
+from repro.core.replacement.lru import LRUPolicy
+from repro.core.storage_cache import ClientStorageCache
+from repro.metrics.collectors import ClientMetrics
+from repro.net.message import ReplyMessage, RequestMessage, UpdateValue
+from repro.net.network import Network
+from repro.oodb.database import Database
+from repro.oodb.objects import OID
+from repro.oodb.query import Query
+from repro.oodb.server import DatabaseServer
+from repro.oodb.storage import StorageModel
+from repro.sim.environment import Environment
+from repro.sim.resources import Store
+from repro.workload.arrivals import ArrivalProcess
+from repro.workload.queries import QueryWorkload
+
+#: The paper's client storage cache: 20% of the 2000-object database.
+DEFAULT_CLIENT_CACHE_OBJECTS = 400
+#: The paper's client memory buffer.
+DEFAULT_CLIENT_BUFFER_OBJECTS = 30
+
+
+class MobileClient:
+    """One mobile client: cache, memory buffer, query loop."""
+
+    def __init__(
+        self,
+        client_id: int,
+        env: Environment,
+        network: Network,
+        server: DatabaseServer,
+        database: Database,
+        workload: QueryWorkload,
+        arrivals: ArrivalProcess,
+        granularity: CachingGranularity,
+        replacement_spec: str = "ewma-0.5",
+        cache_objects: int = DEFAULT_CLIENT_CACHE_OBJECTS,
+        buffer_objects: int = DEFAULT_CLIENT_BUFFER_OBJECTS,
+        object_size_bytes: int = 1024,
+        attribute_entry_overhead: int = 40,
+        objects_per_page: int = 4,
+        coherence_mode: str = REFRESH_TIME,
+        ir_interval: float = DEFAULT_IR_INTERVAL,
+    ) -> None:
+        self.client_id = client_id
+        self.env = env
+        self.network = network
+        self.server = server
+        self.database = database
+        self.workload = workload
+        self.arrivals = arrivals
+        self.granularity = granularity
+        self.metrics = ClientMetrics(client_id)
+        self.reply_box: Store = Store(env, name=f"client-{client_id}-replies")
+
+        if granularity.uses_storage_cache:
+            capacity_bytes = cache_objects * object_size_bytes
+            policy = create_policy(replacement_spec)
+        else:
+            # NC: only the memory buffer caches, and the OS manages it
+            # with LRU regardless of the configured policy.
+            capacity_bytes = buffer_objects * object_size_bytes
+            policy = LRUPolicy()
+        self.cache = ClientStorageCache(
+            capacity_bytes, policy, name=f"client-{client_id}-cache"
+        )
+        #: Cache-table cost of storing one attribute-grained entry beyond
+        #: its payload: the surrogate placeholder slot, the version and
+        #: the refresh deadline (Section 3.1.1's Remote/Cache hierarchy).
+        self.attribute_entry_overhead = int(attribute_entry_overhead)
+        #: Page size used by the PC baseline's held-list computation.
+        self.objects_per_page = int(objects_per_page)
+        #: Coherence strategy; under invalidation reports the client
+        #: listens for broadcasts and obeys the amnesia rule.
+        self.coherence_mode = coherence_mode
+        self.invalidation = (
+            InvalidationListener(ir_interval)
+            if coherence_mode == INVALIDATION_REPORT
+            else None
+        )
+        #: Timing model: memory buffer in front of the local disk.
+        self.local_storage = StorageModel(
+            buffer_objects, name=f"client-{client_id}"
+        )
+        self._query_counter = 0
+        server.register_client(
+            client_id, self._deliver, on_report=self._on_report
+        )
+
+    def _on_report(self, report: InvalidationReport) -> None:
+        """Handle a broadcast invalidation report (IR coherence only).
+
+        Reports only reach the client while it is connected; a
+        disconnected client misses them, which the amnesia rule in
+        :meth:`execute` later detects.
+        """
+        if self.invalidation is None:
+            return
+        if not self.network.is_connected(self.client_id):
+            return
+        self.invalidation.on_report(report)
+        for key in report.keys:
+            self.cache.invalidate(key)
+
+    def _deliver(self, reply: ReplyMessage) -> None:
+        """Route an incoming downlink message.
+
+        Primary replies wake the query waiting in :meth:`execute`;
+        prefetch trailers are absorbed immediately in the background
+        (their disk installation is a background flush and does not
+        block the query loop).
+        """
+        if reply.is_trailer:
+            self.metrics.bytes_received += reply.size_bytes
+            self._absorb(reply)
+        else:
+            self.reply_box.put(reply)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MobileClient #{self.client_id} {self.granularity.value} "
+            f"queries={self.metrics.queries}>"
+        )
+
+    def start(self) -> None:
+        """Launch the client's query loop process."""
+        self.env.process(self._run(), name=f"client-{self.client_id}")
+
+    # ------------------------------------------------------------------
+    # Query loop
+    # ------------------------------------------------------------------
+    def _run(self) -> t.Generator[t.Any, t.Any, None]:
+        next_arrival = self.env.now + self.arrivals.next_interarrival(
+            self.env.now
+        )
+        while True:
+            if self.env.now < next_arrival:
+                yield self.env.timeout(next_arrival - self.env.now)
+            issued_at = next_arrival
+            next_arrival += self.arrivals.next_interarrival(next_arrival)
+            query = self.workload.next_query(self._next_query_id())
+            yield from self.execute(query, issued_at)
+
+    def _next_query_id(self) -> int:
+        self._query_counter += 1
+        return self._query_counter
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def execute(
+        self, query: Query, issued_at: float | None = None
+    ) -> t.Generator[t.Any, t.Any, None]:
+        """Run one query to completion (``yield from`` inside a process)."""
+        if issued_at is None:
+            issued_at = self.env.now
+        connected = self.network.is_connected(self.client_id)
+        if (
+            self.invalidation is not None
+            and connected
+            and self.invalidation.must_purge(self.env.now)
+            and len(self.cache)
+        ):
+            # Amnesia rule: at least one invalidation report was missed
+            # while disconnected, so nothing in the cache can be
+            # trusted any more.
+            self.cache.clear()
+            self.invalidation.note_purged(self.env.now)
+        probe = self._probe(query, connected)
+        if probe.local_read_time > 0:
+            yield self.env.timeout(probe.local_read_time)
+
+        reply: ReplyMessage | None = None
+        if connected and (probe.needed or probe.updates):
+            request = RequestMessage(
+                client_id=self.client_id,
+                query_id=query.query_id,
+                granularity=self.granularity,
+                needed={
+                    oid: tuple(attrs) for oid, attrs in probe.needed.items()
+                },
+                existent=tuple(probe.existent),
+                held=tuple(probe.held),
+                updates={
+                    oid: tuple(changes)
+                    for oid, changes in probe.updates.items()
+                },
+            )
+            self.metrics.bytes_sent += request.size_bytes
+            self.metrics.remote_rounds += 1
+            yield from self.network.uplink.transmit(request.size_bytes)
+            self.server.inbox.put(request)
+            reply = yield self.reply_box.get()
+            self.metrics.bytes_received += reply.size_bytes
+
+        self.metrics.record_query(self.env.now - issued_at, connected)
+
+        if reply is not None:
+            write_time = self._absorb(reply)
+            if write_time > 0:
+                # Cache installation happens after the results are
+                # already delivered, so it delays the next query but not
+                # this one's response time.
+                yield self.env.timeout(write_time)
+
+    # ------------------------------------------------------------------
+    # Probe phase
+    # ------------------------------------------------------------------
+    def _probe(self, query: Query, connected: bool) -> "_ProbeResult":
+        now = self.env.now
+        result = _ProbeResult()
+        seen_existent: set[CacheKey] = set()
+        seen_needed: set[CacheKey] = set()
+        seen_updates: set[tuple[OID, str]] = set()
+
+        for access in query.accesses:
+            key = self.granularity.key_for(access.oid, access.attribute)
+            entry = self.cache.lookup(key)
+            valid = entry is not None and entry.is_valid(now)
+            attr_size = self._attribute_size(access.oid, access.attribute)
+
+            if valid:
+                result.local_read_time += self.local_storage.access(
+                    access.oid, attr_size
+                )
+                self.cache.touch(key, now)
+                is_error = ErrorOracle.is_stale(
+                    entry.version, self.server.current_version(*key)
+                )
+                self.metrics.record_access(
+                    True, is_error, connected=connected, now=now
+                )
+                if (
+                    connected
+                    and not access.is_update
+                    and key not in seen_existent
+                ):
+                    seen_existent.add(key)
+                    result.existent.append(key)
+            elif connected:
+                self.metrics.record_access(False, False, now=now)
+                self._add_needed(result, seen_needed, key)
+            elif entry is not None:
+                # Disconnected: use the expired entry anyway.
+                result.local_read_time += self.local_storage.access(
+                    access.oid, attr_size
+                )
+                self.cache.touch(key, now)
+                is_error = ErrorOracle.is_stale(
+                    entry.version, self.server.current_version(*key)
+                )
+                self.metrics.record_access(
+                    False, is_error, connected=False, now=now
+                )
+                self.metrics.stale_served_accesses += 1
+            else:
+                self.metrics.record_access(
+                    False, False, answered=False, connected=False, now=now
+                )
+                self.metrics.unanswered_accesses += 1
+
+            update_id = (access.oid, access.attribute)
+            if (
+                access.is_update
+                and connected
+                and update_id not in seen_updates
+            ):
+                seen_updates.add(update_id)
+                self._add_needed(result, seen_needed, key)
+                result.updates.setdefault(access.oid, []).append(
+                    UpdateValue(
+                        attribute=access.attribute,
+                        value=self.workload.new_value_for(
+                            access.oid, access.attribute
+                        ),
+                        size_bytes=attr_size,
+                    )
+                )
+
+        if result.needed and self.granularity in (
+            CachingGranularity.HYBRID,
+            CachingGranularity.PAGE,
+        ):
+            self._collect_held(result, seen_existent, seen_needed, now)
+        return result
+
+    def _collect_held(
+        self,
+        result: "_ProbeResult",
+        seen_existent: set[CacheKey],
+        seen_needed: set[CacheKey],
+        now: float,
+    ) -> None:
+        """List valid cached attributes of needed objects (HC only).
+
+        These ``held`` entries stop the server's prefetcher from
+        re-shipping data this client already holds; they cost uplink
+        bytes but save far more on the downlink.  Under HC the held
+        units are attributes of needed objects; under PC they are valid
+        page-mates of needed objects.
+        """
+        if self.granularity is CachingGranularity.PAGE:
+            page_size = self.objects_per_page
+            for oid in list(result.needed):
+                page = oid.number // page_size
+                for number in range(
+                    page * page_size, (page + 1) * page_size
+                ):
+                    key = (OID(oid.class_name, number), None)
+                    if key in seen_existent or key in seen_needed:
+                        continue
+                    entry = self.cache.lookup(key)
+                    if entry is not None and entry.is_valid(now):
+                        seen_existent.add(key)
+                        result.held.append(key)
+            return
+        for oid in result.needed:
+            class_def = self.database.schema.class_def(oid.class_name)
+            for attribute in class_def.attribute_names:
+                key = (oid, attribute)
+                if key in seen_existent or key in seen_needed:
+                    continue
+                entry = self.cache.lookup(key)
+                if entry is not None and entry.is_valid(now):
+                    result.held.append(key)
+
+    def _add_needed(
+        self,
+        result: "_ProbeResult",
+        seen: set[CacheKey],
+        key: CacheKey,
+    ) -> None:
+        if key in seen:
+            return
+        seen.add(key)
+        oid, attribute = key
+        if attribute is None:
+            result.needed.setdefault(oid, [])
+        else:
+            result.needed.setdefault(oid, []).append(attribute)
+
+    def _attribute_size(self, oid: OID, attribute: str) -> int:
+        return (
+            self.database.schema.class_def(oid.class_name)
+            .attribute(attribute)
+            .size_bytes
+        )
+
+    # ------------------------------------------------------------------
+    # Absorb phase
+    # ------------------------------------------------------------------
+    def _absorb(self, reply: ReplyMessage) -> float:
+        """Admit returned items; return the local disk write time."""
+        now = self.env.now
+        write_bytes = 0
+        for item in reply.items:
+            if item.attribute is None:
+                size = self.database.schema.class_def(
+                    item.oid.class_name
+                ).object_size_bytes
+            else:
+                size = (
+                    self._attribute_size(item.oid, item.attribute)
+                    + self.attribute_entry_overhead
+                )
+            expires_at = reply.expiry_deadline(item, now)
+            self.cache.admit(
+                key=item.key,
+                value=item.value,
+                version=item.version,
+                size_bytes=size,
+                now=now,
+                expires_at=expires_at,
+            )
+            write_bytes += size
+        if not self.granularity.uses_storage_cache:
+            # NC caches in memory only; no disk write cost.
+            return 0.0
+        return self.local_storage.disk.access_time(write_bytes)
+
+
+class _ProbeResult:
+    """What one probe pass produces."""
+
+    __slots__ = ("local_read_time", "needed", "existent", "held", "updates")
+
+    def __init__(self) -> None:
+        self.local_read_time = 0.0
+        self.needed: dict[OID, list[str]] = {}
+        self.existent: list[CacheKey] = []
+        self.held: list[CacheKey] = []
+        self.updates: dict[OID, list[UpdateValue]] = {}

@@ -1,0 +1,53 @@
+"""The paper's primary contribution: mobile cache management.
+
+Granularities (NC/AC/OC/HC), the lazy pull-based coherence scheme with
+refresh-time estimation, the replacement-policy family, the byte-budgeted
+client storage cache and the surrogate-based cache table.
+"""
+
+from repro.core.coherence import (
+    ErrorOracle,
+    RefreshTimeEstimator,
+    WriteIntervalStats,
+)
+from repro.core.entry import NEVER_EXPIRES, CacheEntry
+from repro.core.invalidation import (
+    COHERENCE_MODES,
+    INVALIDATION_REPORT,
+    InvalidationListener,
+    InvalidationReport,
+    REFRESH_TIME,
+    WriteLog,
+)
+from repro.core.granularity import CacheKey, CachingGranularity
+from repro.core.prefetch import AttributeAccessTracker
+from repro.core.storage_cache import ClientStorageCache
+from repro.core.surrogate import LocalDatabase, Surrogate
+from repro.core.replacement import (
+    ReplacementPolicy,
+    available_policies,
+    create_policy,
+)
+
+__all__ = [
+    "AttributeAccessTracker",
+    "COHERENCE_MODES",
+    "CacheEntry",
+    "CacheKey",
+    "CachingGranularity",
+    "ClientStorageCache",
+    "ErrorOracle",
+    "INVALIDATION_REPORT",
+    "InvalidationListener",
+    "InvalidationReport",
+    "LocalDatabase",
+    "NEVER_EXPIRES",
+    "REFRESH_TIME",
+    "RefreshTimeEstimator",
+    "ReplacementPolicy",
+    "Surrogate",
+    "WriteIntervalStats",
+    "WriteLog",
+    "available_policies",
+    "create_policy",
+]

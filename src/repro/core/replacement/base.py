@@ -1,0 +1,193 @@
+"""Replacement-policy interface, registry and shared machinery.
+
+A policy tracks the *resident set* of cache keys and picks eviction
+victims.  The storage cache drives it through four notifications::
+
+    on_admit(key, now)    a new key entered the cache
+    on_access(key, now)   a resident key was read or written
+    remove(key)           a key left the cache for external reasons
+    evict(now) -> key     choose a victim AND remove it from the policy
+
+``evict`` both selects and forgets the victim so policies can use lazy
+heaps internally without dangling bookkeeping.
+
+Policies are registered by name and instantiated from compact spec
+strings — ``"lru"``, ``"lru-3"``, ``"ewma-0.5"``, ``"window-10"`` — which
+is also how experiment configs and the CLI refer to them.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import typing as t
+
+from repro.errors import ReplacementError
+from repro.core.granularity import CacheKey
+
+
+class ReplacementPolicy(abc.ABC):
+    """Abstract eviction policy over a set of cache keys."""
+
+    #: Registry name, e.g. ``"lru"``; set by subclasses.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def on_admit(self, key: CacheKey, now: float) -> None:
+        """A new key was inserted (it must not already be resident)."""
+
+    @abc.abstractmethod
+    def on_access(self, key: CacheKey, now: float) -> None:
+        """A resident key was accessed."""
+
+    @abc.abstractmethod
+    def remove(self, key: CacheKey) -> None:
+        """Forget a resident key (invalidation or external eviction)."""
+
+    @abc.abstractmethod
+    def evict(self, now: float) -> CacheKey:
+        """Pick a victim, remove it from the policy, and return it."""
+
+    @abc.abstractmethod
+    def __contains__(self, key: CacheKey) -> bool: ...
+
+    @abc.abstractmethod
+    def __len__(self) -> int: ...
+
+    def describe(self) -> str:
+        """Human-readable label used in reports."""
+        return self.name
+
+    def _require_absent(self, key: CacheKey) -> None:
+        if key in self:
+            raise ReplacementError(f"{key!r} is already resident")
+
+    def _require_resident(self, key: CacheKey) -> None:
+        if key not in self:
+            raise ReplacementError(f"{key!r} is not resident")
+
+    def _require_nonempty(self) -> None:
+        if len(self) == 0:
+            raise ReplacementError("cannot evict from an empty policy")
+
+
+class LazyScoreHeap:
+    """Min-heap over (score, key) with lazy invalidation.
+
+    Scores may be re-pushed on every access; outdated heap records are
+    skipped at pop time by comparing against the current score table.
+    Gives O(log n) victim selection even for policies whose scores change
+    on every access (LRU-k, LRD, and the duration schemes).
+    """
+
+    __slots__ = ("_heap", "_scores", "_seq")
+
+    def __init__(self) -> None:
+        #: Heap records are (score, seq, key); seq both breaks score ties
+        #: deterministically and keeps keys out of comparisons entirely.
+        self._heap: list[tuple[t.Any, int, CacheKey]] = []
+        self._scores: dict[CacheKey, tuple[t.Any, int]] = {}
+        self._seq = 0
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._scores
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def set_score(self, key: CacheKey, score: t.Any) -> None:
+        """Insert or update ``key``'s score."""
+        self._seq += 1
+        self._scores[key] = (score, self._seq)
+        heapq.heappush(self._heap, (score, self._seq, key))
+
+    def score_of(self, key: CacheKey) -> t.Any:
+        return self._scores[key][0]
+
+    def discard(self, key: CacheKey) -> None:
+        """Remove ``key``; its stale heap records evaporate lazily."""
+        self._scores.pop(key, None)
+
+    def peek_min(self) -> tuple[t.Any, CacheKey]:
+        """Current (score, key) minimum without removing it."""
+        self._settle()
+        if not self._heap:
+            raise ReplacementError("heap is empty")
+        score, __, key = self._heap[0]
+        return score, key
+
+    def pop_min(self) -> CacheKey:
+        """Remove and return the key with the minimal current score."""
+        self._settle()
+        if not self._heap:
+            raise ReplacementError("heap is empty")
+        __, __, key = heapq.heappop(self._heap)
+        del self._scores[key]
+        return key
+
+    def _settle(self) -> None:
+        """Drop stale heap records until the top one is live."""
+        heap = self._heap
+        scores = self._scores
+        while heap:
+            __, seq, key = heap[0]
+            live = scores.get(key)
+            if live is None or live[1] != seq:
+                heapq.heappop(heap)
+            else:
+                return
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+PolicyFactory = t.Callable[..., ReplacementPolicy]
+_REGISTRY: dict[str, PolicyFactory] = {}
+
+
+def register_policy(name: str) -> t.Callable[[PolicyFactory], PolicyFactory]:
+    """Class decorator adding a policy to the spec-string registry."""
+
+    def decorator(factory: PolicyFactory) -> PolicyFactory:
+        lowered = name.lower()
+        if lowered in _REGISTRY:
+            raise ReplacementError(f"policy {name!r} registered twice")
+        _REGISTRY[lowered] = factory
+        return factory
+
+    return decorator
+
+
+def available_policies() -> list[str]:
+    """Names of all registered policies."""
+    return sorted(_REGISTRY)
+
+
+def create_policy(spec: str) -> ReplacementPolicy:
+    """Instantiate a policy from a spec string.
+
+    The spec is ``name`` or ``name-parameter``: ``"lru"``, ``"lru-3"``,
+    ``"lrd"``, ``"mean"``, ``"window-10"``, ``"ewma-0.5"``, ``"clock"``,
+    ``"fifo"``, ``"random"``.
+    """
+    spec = spec.strip().lower()
+    if not spec:
+        raise ReplacementError("empty policy spec")
+    name, sep, parameter = spec.partition("-")
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ReplacementError(
+            f"unknown policy {name!r}; available: {available_policies()}"
+        )
+    if not sep:
+        return factory()
+    try:
+        return factory(_parse_number(parameter))
+    except (TypeError, ValueError) as exc:
+        raise ReplacementError(
+            f"bad parameter {parameter!r} for policy {name!r}: {exc}"
+        ) from None
+
+
+def _parse_number(text: str) -> float | int:
+    value = float(text)
+    return int(value) if value.is_integer() else value

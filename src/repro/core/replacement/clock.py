@@ -1,0 +1,92 @@
+"""CLOCK (second chance) replacement — survey baseline from [5].
+
+Not evaluated in the paper's figures, but listed in its related-work
+survey; included so the replacement-policy comparison can be extended.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.granularity import CacheKey
+from repro.core.replacement.base import ReplacementPolicy, register_policy
+
+
+class ClockPolicy(ReplacementPolicy):
+    """One-bit second-chance approximation of LRU.
+
+    The resident set is kept in a circular order; the hand sweeps over
+    keys, clearing reference bits, and evicts the first unreferenced key.
+    """
+
+    name = "clock"
+
+    def __init__(self) -> None:
+        #: key -> reference bit; dict order is the circular order and the
+        #: front of the dict is the hand position.
+        self._ring: OrderedDict[CacheKey, bool] = OrderedDict()
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._ring
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def on_admit(self, key: CacheKey, now: float) -> None:
+        self._require_absent(key)
+        self._ring[key] = True
+
+    def on_access(self, key: CacheKey, now: float) -> None:
+        self._require_resident(key)
+        self._ring[key] = True
+
+    def remove(self, key: CacheKey) -> None:
+        self._require_resident(key)
+        del self._ring[key]
+
+    def evict(self, now: float) -> CacheKey:
+        self._require_nonempty()
+        while True:
+            key, referenced = next(iter(self._ring.items()))
+            if referenced:
+                # Second chance: clear the bit and move behind the hand.
+                self._ring[key] = False
+                self._ring.move_to_end(key)
+            else:
+                del self._ring[key]
+                return key
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Evict in admission order, ignoring accesses entirely."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[CacheKey, None] = OrderedDict()
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def on_admit(self, key: CacheKey, now: float) -> None:
+        self._require_absent(key)
+        self._order[key] = None
+
+    def on_access(self, key: CacheKey, now: float) -> None:
+        self._require_resident(key)
+
+    def remove(self, key: CacheKey) -> None:
+        self._require_resident(key)
+        del self._order[key]
+
+    def evict(self, now: float) -> CacheKey:
+        self._require_nonempty()
+        key, __ = self._order.popitem(last=False)
+        return key
+
+
+register_policy("clock")(ClockPolicy)
+register_policy("fifo")(FIFOPolicy)

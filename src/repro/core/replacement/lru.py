@@ -1,0 +1,55 @@
+"""Least-recently-used replacement (the conventional yardstick)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.granularity import CacheKey
+from repro.core.replacement.base import ReplacementPolicy, register_policy
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Evict the key whose last access lies furthest in the past."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[CacheKey, None] = OrderedDict()
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def on_admit(self, key: CacheKey, now: float) -> None:
+        self._require_absent(key)
+        self._order[key] = None
+
+    def on_access(self, key: CacheKey, now: float) -> None:
+        self._require_resident(key)
+        self._order.move_to_end(key)
+
+    def remove(self, key: CacheKey) -> None:
+        self._require_resident(key)
+        del self._order[key]
+
+    def evict(self, now: float) -> CacheKey:
+        self._require_nonempty()
+        key, __ = self._order.popitem(last=False)
+        return key
+
+
+def make_lru(k: int = 1) -> ReplacementPolicy:
+    """Factory behind the ``"lru"`` spec: plain LRU, or LRU-k for k > 1."""
+    from repro.core.replacement.lru_k import LRUKPolicy
+
+    k = int(k)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k!r}")
+    if k == 1:
+        return LRUPolicy()
+    return LRUKPolicy(k)
+
+
+register_policy("lru")(make_lru)

@@ -1,0 +1,53 @@
+"""Random replacement — a deliberately memoryless extension baseline."""
+
+from __future__ import annotations
+
+from repro.core.granularity import CacheKey
+from repro.core.replacement.base import ReplacementPolicy, register_policy
+from repro.sim.rand import RandomStream
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random resident key.
+
+    Uses a swap-remove list so selection and removal are O(1); the
+    stream is seeded so runs stay reproducible.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = RandomStream(int(seed), label="random-replacement")
+        self._keys: list[CacheKey] = []
+        self._positions: dict[CacheKey, int] = {}
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._positions
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def on_admit(self, key: CacheKey, now: float) -> None:
+        self._require_absent(key)
+        self._positions[key] = len(self._keys)
+        self._keys.append(key)
+
+    def on_access(self, key: CacheKey, now: float) -> None:
+        self._require_resident(key)
+
+    def remove(self, key: CacheKey) -> None:
+        self._require_resident(key)
+        position = self._positions.pop(key)
+        last = self._keys.pop()
+        if last is not key:
+            self._keys[position] = last
+            self._positions[last] = position
+
+    def evict(self, now: float) -> CacheKey:
+        self._require_nonempty()
+        key = self._keys[self._rng.randint(0, len(self._keys) - 1)]
+        self.remove(key)
+        return key
+
+
+register_policy("random")(RandomPolicy)

@@ -1,0 +1,151 @@
+"""The client's storage cache: capacity accounting + policy-driven eviction.
+
+This is the cache the paper's replacement policies manage.  Capacity is
+in *bytes* so attribute-grained and object-grained schemes share one
+implementation: 400 objects of 1024 bytes hold 400 cached objects under
+OC, or several thousand attribute values under AC/HC.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.core.entry import CacheEntry
+from repro.core.granularity import CacheKey
+from repro.core.replacement.base import ReplacementPolicy
+from repro.errors import CacheError
+
+
+class ClientStorageCache:
+    """Byte-budgeted cache of :class:`CacheEntry` values."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        policy: ReplacementPolicy,
+        name: str = "storage-cache",
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise CacheError(
+                f"capacity must be positive, got {capacity_bytes!r}"
+            )
+        self.capacity_bytes = int(capacity_bytes)
+        self.policy = policy
+        self.name = name
+        self._entries: dict[CacheKey, CacheEntry] = {}
+        self.used_bytes = 0
+        self.admissions = 0
+        self.evictions = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClientStorageCache {self.name!r} "
+            f"{self.used_bytes}/{self.capacity_bytes}B "
+            f"entries={len(self._entries)} policy={self.policy.describe()}>"
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: CacheKey) -> CacheEntry | None:
+        """Return the entry for ``key`` without touching policy state."""
+        return self._entries.get(key)
+
+    def touch(self, key: CacheKey, now: float) -> None:
+        """Record an access to a resident key with the policy."""
+        if key not in self._entries:
+            raise CacheError(f"touch of non-resident key {key!r}")
+        self.policy.on_access(key, now)
+
+    def admit(
+        self,
+        key: CacheKey,
+        value: t.Any,
+        version: int,
+        size_bytes: int,
+        now: float,
+        expires_at: float,
+    ) -> list[CacheKey]:
+        """Insert (or refresh) ``key``; return the keys evicted to fit.
+
+        Refreshing a resident key updates its value/version/deadline in
+        place and counts as an access.  Items larger than the whole cache
+        are rejected — a caller bug, not an eviction storm.
+        """
+        existing = self._entries.get(key)
+        if existing is not None:
+            existing.refresh(value, version, now, expires_at)
+            self.policy.on_access(key, now)
+            return []
+        if size_bytes > self.capacity_bytes:
+            raise CacheError(
+                f"item {key!r} ({size_bytes}B) exceeds cache capacity "
+                f"({self.capacity_bytes}B)"
+            )
+        evicted: list[CacheKey] = []
+        while self.used_bytes + size_bytes > self.capacity_bytes:
+            victim = self.policy.evict(now)
+            victim_entry = self._entries.pop(victim)
+            self.used_bytes -= victim_entry.size_bytes
+            self.evictions += 1
+            evicted.append(victim)
+        entry = CacheEntry(
+            key=key,
+            value=value,
+            version=version,
+            size_bytes=size_bytes,
+            fetched_at=now,
+            expires_at=expires_at,
+        )
+        self._entries[key] = entry
+        self.used_bytes += size_bytes
+        self.policy.on_admit(key, now)
+        self.admissions += 1
+        return evicted
+
+    def invalidate(self, key: CacheKey) -> bool:
+        """Drop ``key`` if resident; return whether it was."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self.used_bytes -= entry.size_bytes
+        self.policy.remove(key)
+        return True
+
+    def clear(self) -> None:
+        """Drop everything (used when a client's cache is reset)."""
+        for key in list(self._entries):
+            self.invalidate(key)
+
+    def keys(self) -> list[CacheKey]:
+        return list(self._entries)
+
+    def valid_fraction(self, now: float) -> float:
+        """Share of resident entries whose refresh time has not expired."""
+        if not self._entries:
+            return 0.0
+        valid = sum(
+            1 for entry in self._entries.values() if entry.is_valid(now)
+        )
+        return valid / len(self._entries)
+
+    def check_invariants(self) -> None:
+        """Assert internal consistency (used by property tests)."""
+        recomputed = sum(e.size_bytes for e in self._entries.values())
+        if recomputed != self.used_bytes:
+            raise CacheError(
+                f"byte accounting drifted: {recomputed} != {self.used_bytes}"
+            )
+        if self.used_bytes > self.capacity_bytes:
+            raise CacheError("cache over capacity")
+        if len(self.policy) != len(self._entries):
+            raise CacheError(
+                f"policy tracks {len(self.policy)} keys, "
+                f"cache holds {len(self._entries)}"
+            )
+        for key in self._entries:
+            if key not in self.policy:
+                raise CacheError(f"{key!r} missing from policy")

@@ -1,0 +1,140 @@
+"""The client-side cache table: Remote/Cache class hierarchies.
+
+Section 3.1.1 of the paper models the cache table as a mini OODB in the
+client's local storage: for each server class ``X`` there is a local
+class ``X`` (a subclass of ``Remote``, holding the surrogate identity
+``R.oid``/``R.host``) and a class ``CX`` (a subclass of ``Cache``,
+providing placeholder storage ``c.a`` for each server attribute ``a``).
+A *local surrogate* of a remote object belongs to both, via the OODB
+multiple-membership construct.
+
+This module reproduces that structure over the generic
+:class:`~repro.core.storage_cache.ClientStorageCache`:
+
+* :class:`Surrogate` is the local object, carrying ``r_oid``/``r_host``;
+* :class:`LocalDatabase` maintains the surrogate population and exposes
+  the *method-per-attribute* access style the paper describes — reads go
+  through :meth:`LocalDatabase.read_attribute`, which returns the cached
+  value when fresh and ``None`` otherwise, so callers work identically
+  whether connected or disconnected (the paper's transparency argument).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.core.granularity import CacheKey, CachingGranularity
+from repro.core.storage_cache import ClientStorageCache
+from repro.errors import CacheError
+from repro.oodb.objects import OID
+from repro.oodb.schema import Schema
+
+
+@dataclasses.dataclass(frozen=True)
+class Surrogate:
+    """A local stand-in for a remote object.
+
+    ``r_oid`` and ``r_host`` are the two attributes every surrogate
+    inherits from the paper's ``Remote`` root class.
+    """
+
+    r_oid: OID
+    r_host: str
+
+    @property
+    def class_name(self) -> str:
+        return self.r_oid.class_name
+
+
+class LocalDatabase:
+    """Surrogate population plus cached-value access for one client."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        cache: ClientStorageCache,
+        granularity: CachingGranularity,
+        default_host: str = "server-0",
+    ) -> None:
+        self.schema = schema
+        self.cache = cache
+        self.granularity = granularity
+        self.default_host = default_host
+        self._surrogates: dict[OID, Surrogate] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"<LocalDatabase surrogates={len(self._surrogates)} "
+            f"granularity={self.granularity.value}>"
+        )
+
+    def __len__(self) -> int:
+        return len(self._surrogates)
+
+    def ensure_surrogate(self, oid: OID, host: str | None = None) -> Surrogate:
+        """Find or create the local surrogate for ``oid``."""
+        surrogate = self._surrogates.get(oid)
+        if surrogate is None:
+            if oid.class_name not in self.schema.classes:
+                raise CacheError(
+                    f"cannot create surrogate for unknown class "
+                    f"{oid.class_name!r}"
+                )
+            surrogate = Surrogate(oid, host or self.default_host)
+            self._surrogates[oid] = surrogate
+        return surrogate
+
+    def surrogate_for(self, oid: OID) -> Surrogate | None:
+        return self._surrogates.get(oid)
+
+    def surrogates(self, class_name: str | None = None) -> list[Surrogate]:
+        """All surrogates, optionally of one class, in OID order."""
+        out = [
+            surrogate
+            for oid, surrogate in sorted(self._surrogates.items())
+            if class_name is None or oid.class_name == class_name
+        ]
+        return out
+
+    def cache_key(self, oid: OID, attribute: str) -> CacheKey:
+        """Key under which ``oid.attribute`` is cached at this granularity."""
+        self.schema.class_def(oid.class_name).attribute(attribute)
+        return self.granularity.key_for(oid, attribute)
+
+    def is_cached(self, oid: OID, attribute: str) -> bool:
+        """Whether the placeholder ``c.attribute`` holds a value."""
+        return self.cache.lookup(self.cache_key(oid, attribute)) is not None
+
+    def read_attribute(
+        self, oid: OID, attribute: str, now: float
+    ) -> t.Any | None:
+        """The paper's attribute *method*: local value or ``None``.
+
+        Returns the cached value when present and unexpired — whether or
+        not the client is connected — and ``None`` otherwise, leaving the
+        caller to decide between a remote round and degraded operation.
+        Under object granularity the value is the whole object's
+        attribute map, from which the single attribute is projected.
+        """
+        entry = self.cache.lookup(self.cache_key(oid, attribute))
+        if entry is None or not entry.is_valid(now):
+            return None
+        self.cache.touch(entry.key, now)
+        if self.granularity.caches_objects:
+            values = t.cast("dict[str, t.Any]", entry.value)
+            return values.get(attribute)
+        return entry.value
+
+    def forget(self, oid: OID) -> int:
+        """Drop a surrogate and every cached item belonging to it.
+
+        Returns the number of cache entries invalidated.
+        """
+        self._surrogates.pop(oid, None)
+        dropped = 0
+        for key in self.cache.keys():
+            if key[0] == oid:
+                self.cache.invalidate(key)
+                dropped += 1
+        return dropped

@@ -1,0 +1,39 @@
+"""Experiment drivers: one module per paper figure, plus Table 1.
+
+Quick use::
+
+    from repro.experiments import exp1_granularity, report
+
+    table = exp1_granularity.run(horizon_hours=8)
+    print(report.render_rows(
+        table, ["granularity", "query_kind", "arrival", "heat"]
+    ))
+"""
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.framework import (
+    ExperimentRow,
+    ExperimentTable,
+    FAST_HORIZON_HOURS,
+    FULL_HORIZON_HOURS,
+    default_horizon_hours,
+    execute,
+)
+from repro.experiments.runner import (
+    Simulation,
+    SimulationResult,
+    run_simulation,
+)
+
+__all__ = [
+    "ExperimentRow",
+    "ExperimentTable",
+    "FAST_HORIZON_HOURS",
+    "FULL_HORIZON_HOURS",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "default_horizon_hours",
+    "execute",
+    "run_simulation",
+]

@@ -1,0 +1,69 @@
+"""Experiment #1 — caching granularity (the paper's Figure 2).
+
+Compares NC, AC, OC and HC across query kind (AQ/NQ), arrival pattern
+(Poisson/Bursty) and heat (SH/CSH), with 10 clients, U = 0.1 and
+EWMA-0.5 for storage-cache replacement.  Figure 2 is a 2x4 array of
+graphs: rows are AQ/NQ, columns alternate hit ratio and response time
+for Poisson then Bursty; each graph carries the four granularities under
+both SH and CSH.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.framework import (
+    ExperimentTable,
+    RunSpec,
+    default_horizon_hours,
+    execute,
+)
+
+EXPERIMENT_ID = "exp1"
+TITLE = "Figure 2: caching granularity (NC/AC/OC/HC)"
+
+GRANULARITIES = ("NC", "AC", "OC", "HC")
+QUERY_KINDS = ("AQ", "NQ")
+ARRIVALS = ("poisson", "bursty")
+HEATS = ("SH", "CSH")
+
+
+def build_runs(
+    horizon_hours: float | None = None, seed: int = 42
+) -> list[RunSpec]:
+    horizon = horizon_hours or default_horizon_hours()
+    runs: list[RunSpec] = []
+    for kind in QUERY_KINDS:
+        for arrival in ARRIVALS:
+            for heat in HEATS:
+                for granularity in GRANULARITIES:
+                    config = SimulationConfig(
+                        granularity=granularity,
+                        replacement="ewma-0.5",
+                        query_kind=kind,
+                        arrival=arrival,
+                        heat=heat,
+                        update_probability=0.1,
+                        horizon_hours=horizon,
+                        seed=seed,
+                    )
+                    dims = {
+                        "granularity": granularity,
+                        "query_kind": kind,
+                        "arrival": arrival,
+                        "heat": heat,
+                    }
+                    runs.append((dims, config))
+    return runs
+
+
+def run(
+    horizon_hours: float | None = None,
+    seed: int = 42,
+    progress: bool = False,
+) -> ExperimentTable:
+    return execute(
+        EXPERIMENT_ID,
+        TITLE,
+        build_runs(horizon_hours, seed),
+        progress=progress,
+    )

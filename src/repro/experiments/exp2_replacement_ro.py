@@ -1,0 +1,71 @@
+"""Experiment #2 — replacement policies, read-only best case (Figure 3).
+
+One client, U = 0 (so no coherence effects and no errors), HC
+granularity.  Sweeps the six policies of the paper across SH/CSH, AQ/NQ
+and Poisson/Bursty; Figure 3 reports hit ratios and response times.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.framework import (
+    ExperimentTable,
+    RunSpec,
+    default_horizon_hours,
+    execute,
+)
+
+EXPERIMENT_ID = "exp2"
+TITLE = "Figure 3: replacement policies, read-only (U=0, 1 client)"
+
+#: The paper's six policies with their exact parameterisations.
+POLICIES = ("lru", "lru-3", "lrd", "mean", "window-10", "ewma-0.5")
+QUERY_KINDS = ("AQ", "NQ")
+ARRIVALS = ("poisson", "bursty")
+HEATS = ("SH", "CSH")
+
+
+def build_runs(
+    horizon_hours: float | None = None,
+    seed: int = 42,
+    update_probability: float = 0.0,
+    num_clients: int = 1,
+) -> list[RunSpec]:
+    horizon = horizon_hours or default_horizon_hours()
+    runs: list[RunSpec] = []
+    for heat in HEATS:
+        for kind in QUERY_KINDS:
+            for arrival in ARRIVALS:
+                for policy in POLICIES:
+                    config = SimulationConfig(
+                        granularity="HC",
+                        replacement=policy,
+                        query_kind=kind,
+                        arrival=arrival,
+                        heat=heat,
+                        update_probability=update_probability,
+                        num_clients=num_clients,
+                        horizon_hours=horizon,
+                        seed=seed,
+                    )
+                    dims = {
+                        "policy": policy,
+                        "heat": heat,
+                        "query_kind": kind,
+                        "arrival": arrival,
+                    }
+                    runs.append((dims, config))
+    return runs
+
+
+def run(
+    horizon_hours: float | None = None,
+    seed: int = 42,
+    progress: bool = False,
+) -> ExperimentTable:
+    return execute(
+        EXPERIMENT_ID,
+        TITLE,
+        build_runs(horizon_hours, seed),
+        progress=progress,
+    )

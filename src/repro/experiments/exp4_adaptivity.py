@@ -1,0 +1,102 @@
+"""Experiment #4 — adaptivity to changing and cyclic patterns.
+
+Two halves:
+
+* **Figure 5** — LRU, LRU-3, LRD and EWMA-0.5 on CSH with hot-set change
+  rates of 300, 500 and 700 queries (AQ, Poisson, 10 clients, U = 0.1).
+  The paper finds LRU/LRU-3 slightly ahead at the fast change rate and
+  EWMA-0.5 best once the change rate slows to 500+.
+* **Figure 6** — the same four policies on the cyclic access pattern of
+  the LRU-k paper: LRU collapses, LRU-3 wins big, EWMA-0.5 lands close
+  to LRU-3 and clearly above LRD.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.framework import (
+    ExperimentTable,
+    RunSpec,
+    default_horizon_hours,
+    execute,
+)
+
+EXPERIMENT_ID_F5 = "exp4-f5"
+TITLE_F5 = "Figure 5: adaptivity vs CSH change rate"
+EXPERIMENT_ID_F6 = "exp4-f6"
+TITLE_F6 = "Figure 6: cyclic access pattern"
+
+POLICIES = ("lru", "lru-3", "lrd", "ewma-0.5")
+CHANGE_RATES = (300, 500, 700)
+
+
+def build_change_rate_runs(
+    horizon_hours: float | None = None, seed: int = 42
+) -> list[RunSpec]:
+    horizon = horizon_hours or default_horizon_hours()
+    runs: list[RunSpec] = []
+    for change_rate in CHANGE_RATES:
+        for policy in POLICIES:
+            config = SimulationConfig(
+                granularity="HC",
+                replacement=policy,
+                query_kind="AQ",
+                arrival="poisson",
+                heat="CSH",
+                csh_change_every=change_rate,
+                update_probability=0.1,
+                num_clients=10,
+                horizon_hours=horizon,
+                seed=seed,
+            )
+            runs.append(
+                ({"policy": policy, "change_rate": change_rate}, config)
+            )
+    return runs
+
+
+def build_cyclic_runs(
+    horizon_hours: float | None = None, seed: int = 42
+) -> list[RunSpec]:
+    horizon = horizon_hours or default_horizon_hours()
+    runs: list[RunSpec] = []
+    for policy in POLICIES:
+        config = SimulationConfig(
+            granularity="HC",
+            replacement=policy,
+            query_kind="AQ",
+            arrival="poisson",
+            heat="cyclic",
+            update_probability=0.1,
+            num_clients=10,
+            horizon_hours=horizon,
+            seed=seed,
+        )
+        runs.append(({"policy": policy}, config))
+    return runs
+
+
+def run_change_rates(
+    horizon_hours: float | None = None,
+    seed: int = 42,
+    progress: bool = False,
+) -> ExperimentTable:
+    return execute(
+        EXPERIMENT_ID_F5,
+        TITLE_F5,
+        build_change_rate_runs(horizon_hours, seed),
+        progress=progress,
+    )
+
+
+def run_cyclic(
+    horizon_hours: float | None = None,
+    seed: int = 42,
+    progress: bool = False,
+) -> ExperimentTable:
+    return execute(
+        EXPERIMENT_ID_F6,
+        TITLE_F6,
+        build_cyclic_runs(horizon_hours, seed),
+        progress=progress,
+    )

@@ -1,0 +1,70 @@
+"""Experiment #5 — coherence: update probability and beta (Figure 7).
+
+Error rate, hit ratio and response time for AC, OC and HC as the update
+probability U sweeps {0.1, 0.3, 0.5} and the refresh-time slack beta
+sweeps {-1, 0, 1} (AQ, Poisson, SH, EWMA-0.5, 10 clients).
+
+Expected shapes: OC errors exceed AC/HC (an update to *any* attribute of
+a cached object poisons object-grained reads); errors grow with U and
+with beta; hit ratios grow with beta (longer validity); response times
+fall with beta.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.framework import (
+    ExperimentTable,
+    RunSpec,
+    default_horizon_hours,
+    execute,
+)
+
+EXPERIMENT_ID = "exp5"
+TITLE = "Figure 7: coherence vs update probability and beta"
+
+GRANULARITIES = ("AC", "OC", "HC")
+UPDATE_PROBABILITIES = (0.1, 0.3, 0.5)
+BETAS = (-1.0, 0.0, 1.0)
+
+
+def build_runs(
+    horizon_hours: float | None = None, seed: int = 42
+) -> list[RunSpec]:
+    horizon = horizon_hours or default_horizon_hours()
+    runs: list[RunSpec] = []
+    for beta in BETAS:
+        for update_probability in UPDATE_PROBABILITIES:
+            for granularity in GRANULARITIES:
+                config = SimulationConfig(
+                    granularity=granularity,
+                    replacement="ewma-0.5",
+                    query_kind="AQ",
+                    arrival="poisson",
+                    heat="SH",
+                    update_probability=update_probability,
+                    beta=beta,
+                    num_clients=10,
+                    horizon_hours=horizon,
+                    seed=seed,
+                )
+                dims = {
+                    "granularity": granularity,
+                    "update_probability": update_probability,
+                    "beta": beta,
+                }
+                runs.append((dims, config))
+    return runs
+
+
+def run(
+    horizon_hours: float | None = None,
+    seed: int = 42,
+    progress: bool = False,
+) -> ExperimentTable:
+    return execute(
+        EXPERIMENT_ID,
+        TITLE,
+        build_runs(horizon_hours, seed),
+        progress=progress,
+    )

@@ -1,0 +1,125 @@
+"""Shared machinery for the per-figure experiment drivers.
+
+Each experiment module declares a list of runs (label dimensions plus a
+:class:`SimulationConfig`); the framework executes them and produces an
+:class:`ExperimentTable` whose rows carry the three paper metrics.  The
+``horizon_hours`` knob scales every run's observation window so the same
+driver serves quick benchmarks (a few simulated hours) and paper-scale
+reproduction (96 h, set ``REPRO_FULL=1`` or pass 96 explicitly).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import sys
+import typing as t
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import run_simulation
+
+#: The paper's horizon (hours).
+FULL_HORIZON_HOURS = 96.0
+#: Default reduced horizon for benchmarks and smoke runs.
+FAST_HORIZON_HOURS = 8.0
+
+
+def default_horizon_hours() -> float:
+    """Choose the horizon: paper scale iff ``REPRO_FULL=1`` is set."""
+    if os.environ.get("REPRO_FULL", "") == "1":
+        return FULL_HORIZON_HOURS
+    return FAST_HORIZON_HOURS
+
+
+@dataclasses.dataclass
+class ExperimentRow:
+    """One completed run: its dimensions plus the three metrics."""
+
+    dims: dict[str, t.Any]
+    hit_ratio: float
+    response_time: float
+    error_rate: float
+    queries: int
+    disconnected_error_rate: float = 0.0
+
+    def dim(self, name: str) -> t.Any:
+        return self.dims[name]
+
+
+@dataclasses.dataclass
+class ExperimentTable:
+    """All rows of one experiment, with series extraction helpers."""
+
+    experiment_id: str
+    title: str
+    rows: list[ExperimentRow]
+
+    def filter(self, **dims: t.Any) -> "ExperimentTable":
+        """Rows whose dimensions match all given values."""
+        matching = [
+            row
+            for row in self.rows
+            if all(row.dims.get(k) == v for k, v in dims.items())
+        ]
+        return ExperimentTable(self.experiment_id, self.title, matching)
+
+    def series(
+        self, x: str, y: str, **dims: t.Any
+    ) -> list[tuple[t.Any, float]]:
+        """(x, y) points for one curve, filtered by fixed dimensions."""
+        points = [
+            (row.dims[x], getattr(row, y))
+            for row in self.filter(**dims).rows
+        ]
+        return sorted(points, key=lambda p: str(p[0]))
+
+    def value(self, y: str, **dims: t.Any) -> float:
+        """The single y value matching the dims (raises if ambiguous)."""
+        matching = self.filter(**dims).rows
+        if len(matching) != 1:
+            raise ValueError(
+                f"expected exactly one row for {dims!r}, "
+                f"found {len(matching)}"
+            )
+        return getattr(matching[0], y)
+
+    def dimension_values(self, name: str) -> list[t.Any]:
+        seen: dict[t.Any, None] = {}
+        for row in self.rows:
+            seen.setdefault(row.dims.get(name), None)
+        return list(seen)
+
+
+RunSpec = tuple[dict[str, t.Any], SimulationConfig]
+
+
+def execute(
+    experiment_id: str,
+    title: str,
+    runs: t.Sequence[RunSpec],
+    progress: bool = False,
+) -> ExperimentTable:
+    """Run every spec and collect the table."""
+    rows: list[ExperimentRow] = []
+    for index, (dims, config) in enumerate(runs):
+        if progress:
+            print(
+                f"[{experiment_id}] run {index + 1}/{len(runs)}: "
+                f"{config.label()}",
+                file=sys.stderr,
+                flush=True,
+            )
+        result = run_simulation(config)
+        rows.append(
+            ExperimentRow(
+                dims=dict(dims),
+                hit_ratio=result.hit_ratio,
+                response_time=result.response_time,
+                error_rate=result.error_rate,
+                queries=result.summary.total_queries,
+                disconnected_error_rate=(
+                    result.disconnected_error_rate
+                ),
+            )
+        )
+    return ExperimentTable(experiment_id, title, rows)

@@ -1,0 +1,111 @@
+"""Plain-text rendering of experiment tables, figure by figure."""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.experiments.framework import ExperimentRow, ExperimentTable
+
+#: Metric -> (column header, formatter).
+_METRICS: dict[str, tuple[str, t.Callable[[float], str]]] = {
+    "hit_ratio": ("hit", lambda v: f"{v:7.2%}"),
+    "response_time": ("resp(s)", lambda v: f"{v:8.3f}"),
+    "error_rate": ("err", lambda v: f"{v:7.2%}"),
+    "disconnected_error_rate": ("disc-err", lambda v: f"{v:7.2%}"),
+}
+
+
+def render_rows(
+    table: ExperimentTable,
+    dimensions: t.Sequence[str],
+    metrics: t.Sequence[str] = ("hit_ratio", "response_time", "error_rate"),
+) -> str:
+    """Aligned text table: one line per run."""
+    header_cells = [d for d in dimensions]
+    widths = [
+        max(
+            len(dimension),
+            max(
+                (len(str(row.dims.get(dimension, ""))) for row in table.rows),
+                default=0,
+            ),
+        )
+        for dimension in header_cells
+    ]
+    lines = [table.title, ""]
+    header = "  ".join(
+        cell.ljust(width) for cell, width in zip(header_cells, widths)
+    )
+    header += "  " + "  ".join(_METRICS[m][0].rjust(8) for m in metrics)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in table.rows:
+        cells = "  ".join(
+            str(row.dims.get(dimension, "")).ljust(width)
+            for dimension, width in zip(header_cells, widths)
+        )
+        values = "  ".join(
+            _METRICS[m][1](getattr(row, m)).rjust(8) for m in metrics
+        )
+        lines.append(f"{cells}  {values}")
+    return "\n".join(lines)
+
+
+def render_matrix(
+    table: ExperimentTable,
+    row_dim: str,
+    column_dim: str,
+    metric: str,
+    **fixed: t.Any,
+) -> str:
+    """A paper-figure-style grid: one metric, rows x columns."""
+    filtered = table.filter(**fixed)
+    row_values = filtered.dimension_values(row_dim)
+    column_values = filtered.dimension_values(column_dim)
+    __, formatter = _METRICS[metric]
+    label_width = max(
+        [len(str(v)) for v in row_values] + [len(row_dim)]
+    )
+    cell_width = 9
+    title_bits = ", ".join(f"{k}={v}" for k, v in fixed.items())
+    lines = [f"{metric} [{title_bits}]" if fixed else metric]
+    header = str(row_dim).ljust(label_width) + "  " + "  ".join(
+        str(c).rjust(cell_width) for c in column_values
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row_value in row_values:
+        cells = []
+        for column_value in column_values:
+            matching = filtered.filter(
+                **{row_dim: row_value, column_dim: column_value}
+            ).rows
+            if len(matching) == 1:
+                cells.append(
+                    formatter(getattr(matching[0], metric)).rjust(cell_width)
+                )
+            else:
+                cells.append("-".rjust(cell_width))
+        lines.append(
+            str(row_value).ljust(label_width) + "  " + "  ".join(cells)
+        )
+    return "\n".join(lines)
+
+
+def summarize_best(
+    table: ExperimentTable, group_dim: str, metric: str = "hit_ratio",
+    maximize: bool = True,
+) -> list[tuple[t.Any, ExperimentRow]]:
+    """Best row per value of ``group_dim`` (highest/lowest metric)."""
+    best: dict[t.Any, ExperimentRow] = {}
+    for row in table.rows:
+        group = row.dims.get(group_dim)
+        current = best.get(group)
+        value = getattr(row, metric)
+        if (
+            current is None
+            or (maximize and value > getattr(current, metric))
+            or (not maximize and value < getattr(current, metric))
+        ):
+            best[group] = row
+    return sorted(best.items(), key=lambda kv: str(kv[0]))

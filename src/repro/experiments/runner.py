@@ -1,0 +1,218 @@
+"""Build and run one simulation from a :class:`SimulationConfig`."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.client.mobile_client import MobileClient
+from repro.core.granularity import CachingGranularity
+from repro.core.prefetch import AttributeAccessTracker
+from repro.errors import ConfigurationError
+from repro.experiments.config import SimulationConfig
+from repro.metrics.collectors import MetricsSummary
+from repro.net.disconnect import DisconnectionSchedule, plan_single_windows
+from repro.net.network import Network
+from repro.oodb.database import Database, build_default_database
+from repro.oodb.query import QueryKind
+from repro.oodb.server import DatabaseServer
+from repro.sim.environment import Environment
+from repro.sim.rand import RandomStream
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    BurstyArrival,
+    PoissonArrival,
+)
+from repro.workload.heat import (
+    ChangingSkewedHeat,
+    CyclicHeat,
+    HeatDistribution,
+    SkewedHeat,
+    UniformHeat,
+)
+from repro.workload.queries import QueryWorkload
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Everything a finished run exposes for analysis."""
+
+    config: SimulationConfig
+    summary: MetricsSummary
+    uplink_utilization: float
+    downlink_utilization: float
+    server_buffer_hit_ratio: float
+    items_prefetched: int
+    requests_served: int
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.summary.hit_ratio
+
+    @property
+    def response_time(self) -> float:
+        return self.summary.response_time
+
+    @property
+    def error_rate(self) -> float:
+        return self.summary.error_rate
+
+    @property
+    def disconnected_error_rate(self) -> float:
+        return self.summary.disconnected_error_rate
+
+
+class Simulation:
+    """A fully wired simulation, ready to run."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        config.validate()
+        self.config = config
+        self.env = Environment()
+        root_rng = RandomStream(config.seed, label="root")
+
+        self.database: Database = build_default_database(
+            config.num_objects, rng=root_rng.fork("database")
+        )
+        schedule = self._build_disconnections(root_rng)
+        self.network = Network(
+            self.env, bandwidth_bps=config.wireless_bps, schedule=schedule
+        )
+        tracker = AttributeAccessTracker(
+            k_sigma=config.prefetch_k_sigma,
+            floor_at_uniform=config.prefetch_floor_at_uniform,
+        )
+        granularity = CachingGranularity.parse(config.granularity)
+        self.server = DatabaseServer(
+            self.env,
+            self.database,
+            self.network,
+            buffer_capacity=config.server_buffer_objects,
+            beta=config.beta,
+            prefetch_tracker=tracker,
+            split_delivery=config.prefetch_split_delivery,
+            trailer_drop_queue_threshold=(
+                config.trailer_drop_queue_threshold
+            ),
+            objects_per_page=config.objects_per_page,
+            coherence_mode=config.coherence,
+            ir_interval=config.ir_interval_seconds,
+            ir_object_keys=granularity.caches_objects,
+        )
+        self.server.storage.disk.bandwidth_bps = config.disk_bps
+        self.server.storage.memory.bandwidth_bps = config.memory_bps
+
+        kind = (
+            QueryKind.ASSOCIATIVE
+            if config.query_kind == "AQ"
+            else QueryKind.NAVIGATIONAL
+        )
+        self.clients: list[MobileClient] = []
+        for client_id in range(config.num_clients):
+            client_rng = root_rng.fork(f"client-{client_id}")
+            heat = self._build_heat(client_rng.fork("heat"))
+            workload = QueryWorkload(
+                client_id=client_id,
+                database=self.database,
+                heat=heat,
+                rng=client_rng.fork("queries"),
+                kind=kind,
+                selectivity=config.selectivity,
+                attrs_per_object=config.attrs_per_object,
+                update_probability=config.update_probability,
+                attribute_skew=config.attribute_skew,
+            )
+            arrivals = self._build_arrivals(client_rng.fork("arrivals"))
+            client = MobileClient(
+                client_id=client_id,
+                env=self.env,
+                network=self.network,
+                server=self.server,
+                database=self.database,
+                workload=workload,
+                arrivals=arrivals,
+                granularity=granularity,
+                replacement_spec=config.replacement,
+                cache_objects=config.client_cache_objects,
+                buffer_objects=config.client_buffer_objects,
+                object_size_bytes=self.database.schema.class_def(
+                    "Root"
+                ).object_size_bytes,
+                attribute_entry_overhead=config.attribute_entry_overhead_bytes,
+                objects_per_page=config.objects_per_page,
+                coherence_mode=config.coherence,
+                ir_interval=config.ir_interval_seconds,
+            )
+            client.local_storage.disk.bandwidth_bps = config.disk_bps
+            client.local_storage.memory.bandwidth_bps = config.memory_bps
+            self.clients.append(client)
+
+    # ------------------------------------------------------------------
+    def _build_heat(self, rng: RandomStream) -> HeatDistribution:
+        config = self.config
+        oids = self.database.oids("Root")
+        if config.heat == "SH":
+            return SkewedHeat(
+                oids,
+                rng,
+                hot_fraction=config.hot_fraction,
+                hot_access_probability=config.hot_access_probability,
+            )
+        if config.heat == "CSH":
+            return ChangingSkewedHeat(
+                oids,
+                rng,
+                change_every=config.csh_change_every,
+                hot_fraction=config.hot_fraction,
+                hot_access_probability=config.hot_access_probability,
+            )
+        if config.heat == "cyclic":
+            return CyclicHeat(
+                oids,
+                rng,
+                hot_fraction=config.hot_fraction,
+                scan_fraction=config.cyclic_scan_fraction,
+            )
+        if config.heat == "uniform":
+            return UniformHeat(oids, rng)
+        raise ConfigurationError(f"unknown heat pattern {config.heat!r}")
+
+    def _build_arrivals(self, rng: RandomStream) -> ArrivalProcess:
+        if self.config.arrival == "poisson":
+            return PoissonArrival(rng, rate=self.config.arrival_rate)
+        return BurstyArrival(rng)
+
+    def _build_disconnections(
+        self, root_rng: RandomStream
+    ) -> DisconnectionSchedule:
+        config = self.config
+        if not config.disconnected_clients:
+            return DisconnectionSchedule()
+        return plan_single_windows(
+            client_ids=list(range(config.disconnected_clients)),
+            duration=config.disconnection_seconds,
+            horizon=config.horizon_seconds,
+            rng=root_rng.fork("disconnections"),
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Run to the configured horizon and summarise."""
+        self.server.start()
+        for client in self.clients:
+            client.start()
+        self.env.run(until=self.config.horizon_seconds)
+        summary = MetricsSummary([c.metrics for c in self.clients])
+        return SimulationResult(
+            config=self.config,
+            summary=summary,
+            uplink_utilization=self.network.uplink.utilization(),
+            downlink_utilization=self.network.downlink.utilization(),
+            server_buffer_hit_ratio=self.server.storage.buffer_hit_ratio,
+            items_prefetched=self.server.items_prefetched,
+            requests_served=self.server.requests_served,
+        )
+
+
+def run_simulation(config: SimulationConfig) -> SimulationResult:
+    """Convenience wrapper: build and run in one call."""
+    return Simulation(config).run()

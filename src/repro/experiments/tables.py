@@ -1,0 +1,113 @@
+"""Table 1 — parameter settings of the experiments.
+
+The paper's Table 1 summarises which values every experimental dimension
+takes in each of the six experiments.  :func:`table1_rows` regenerates
+it from the experiment drivers themselves, so the table can never drift
+from what the code actually runs.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.experiments import (
+    exp1_granularity,
+    exp2_replacement_ro,
+    exp3_replacement_rw,
+    exp4_adaptivity,
+    exp5_coherence,
+    exp6_disconnect,
+)
+
+
+def _fmt(values: t.Iterable[t.Any]) -> str:
+    return ", ".join(str(v) for v in values)
+
+
+def table1_rows() -> list[dict[str, str]]:
+    """One row per experiment: the sweep each dimension takes."""
+    return [
+        {
+            "experiment": "#1 (Fig 2)",
+            "G": _fmt(exp1_granularity.GRANULARITIES),
+            "A": _fmt(exp1_granularity.HEATS),
+            "Q": _fmt(exp1_granularity.QUERY_KINDS),
+            "R_disk": "ewma-0.5",
+            "P": _fmt(exp1_granularity.ARRIVALS),
+            "U": "0.1",
+            "D/V": "none",
+        },
+        {
+            "experiment": "#2 (Fig 3)",
+            "G": "HC",
+            "A": _fmt(exp2_replacement_ro.HEATS),
+            "Q": _fmt(exp2_replacement_ro.QUERY_KINDS),
+            "R_disk": _fmt(exp2_replacement_ro.POLICIES),
+            "P": _fmt(exp2_replacement_ro.ARRIVALS),
+            "U": "0 (1 client)",
+            "D/V": "none",
+        },
+        {
+            "experiment": "#3 (Fig 4)",
+            "G": "HC",
+            "A": _fmt(exp2_replacement_ro.HEATS),
+            "Q": _fmt(exp2_replacement_ro.QUERY_KINDS),
+            "R_disk": _fmt(exp3_replacement_rw.POLICIES),
+            "P": _fmt(exp2_replacement_ro.ARRIVALS),
+            "U": "0.1 (10 clients)",
+            "D/V": "none",
+        },
+        {
+            "experiment": "#4 (Fig 5+6)",
+            "G": "HC",
+            "A": "CSH 300/500/700, cyclic",
+            "Q": "AQ",
+            "R_disk": _fmt(exp4_adaptivity.POLICIES),
+            "P": "poisson",
+            "U": "0.1",
+            "D/V": "none",
+        },
+        {
+            "experiment": "#5 (Fig 7)",
+            "G": _fmt(exp5_coherence.GRANULARITIES),
+            "A": "SH",
+            "Q": "AQ",
+            "R_disk": "ewma-0.5",
+            "P": "poisson",
+            "U": _fmt(exp5_coherence.UPDATE_PROBABILITIES)
+            + f"; beta {_fmt(exp5_coherence.BETAS)}",
+            "D/V": "none",
+        },
+        {
+            "experiment": "#6 (Fig 8)",
+            "G": _fmt(exp6_disconnect.GRANULARITIES),
+            "A": "SH",
+            "Q": "AQ",
+            "R_disk": "ewma-0.5",
+            "P": "poisson",
+            "U": "0.1",
+            "D/V": (
+                f"D {_fmt(exp6_disconnect.DURATIONS_HOURS)} h; "
+                f"V {_fmt(exp6_disconnect.CLIENT_COUNTS)}"
+            ),
+        },
+    ]
+
+
+def render_table1() -> str:
+    """Plain-text rendering of Table 1."""
+    rows = table1_rows()
+    columns = ["experiment", "G", "A", "Q", "R_disk", "P", "U", "D/V"]
+    widths = {
+        column: max(len(column), max(len(row[column]) for row in rows))
+        for column in columns
+    }
+    lines = [
+        "  ".join(column.ljust(widths[column]) for column in columns),
+        "  ".join("-" * widths[column] for column in columns),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(row[column].ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Per-client and system-wide metric collection.
+
+The paper's three headline metrics (Section 5):
+
+* **cache hit ratio** — share of attribute accesses satisfied by a
+  locally *unexpired* cached item;
+* **response time** — seconds from query issue to results generated
+  (locally or after the remote round);
+* **error rate** — share of *answered* read accesses that consumed a
+  value already overwritten at the server (checked against the
+  perfect-knowledge oracle).  Reads that return nothing (uncached items
+  during disconnection) cannot be erroneous and are excluded from the
+  error denominator; they still count as misses for the hit ratio.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.metrics.timeseries import BucketedRatio
+from repro.sim.monitor import RatioCounter, Tally
+
+#: Bucket width of the per-client hit-ratio time series (seconds).
+DEFAULT_SERIES_BUCKET = 1800.0
+
+
+class ClientMetrics:
+    """All counters for one mobile client."""
+
+    def __init__(self, client_id: int) -> None:
+        self.client_id = client_id
+        self.hit = RatioCounter("hit")
+        self.error = RatioCounter("error")
+        #: Errors among value-consuming reads made *while disconnected*
+        #: (the paper's Experiment #6 lens).
+        self.disconnected_error = RatioCounter("disconnected-error")
+        #: Hit ratio over time (half-hour buckets), for dynamics analysis.
+        self.hit_series = BucketedRatio(DEFAULT_SERIES_BUCKET, "hit")
+        self.response = Tally("response")
+        self.queries = 0
+        self.disconnected_queries = 0
+        self.remote_rounds = 0
+        self.unanswered_accesses = 0
+        self.stale_served_accesses = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClientMetrics #{self.client_id} hit={self.hit.ratio:.3f} "
+            f"err={self.error.ratio:.3f} resp={self.response.mean:.3f}s>"
+        )
+
+    def record_access(
+        self,
+        is_hit: bool,
+        is_error: bool,
+        answered: bool = True,
+        connected: bool = True,
+        now: "float | None" = None,
+    ) -> None:
+        """One attribute access: hit/miss plus error-oracle outcome.
+
+        ``answered`` is ``False`` for reads that returned no value at all
+        (uncached items during disconnection); they count as misses but
+        stay out of the error denominator.
+        """
+        self.hit.record(is_hit)
+        if now is not None:
+            self.hit_series.record(now, is_hit)
+        if answered:
+            self.error.record(is_error)
+            if not connected:
+                self.disconnected_error.record(is_error)
+        elif is_error:
+            raise ValueError("an unanswered read cannot be an error")
+
+    def record_query(self, response_time: float, connected: bool) -> None:
+        self.queries += 1
+        self.response.record(response_time)
+        if not connected:
+            self.disconnected_queries += 1
+
+
+@dataclasses.dataclass
+class SummaryRow:
+    """One aggregated result line, as printed in reports."""
+
+    label: str
+    hit_ratio: float
+    response_time: float
+    error_rate: float
+    queries: int
+
+    def formatted(self) -> str:
+        return (
+            f"{self.label:<28} hit={self.hit_ratio:6.2%} "
+            f"resp={self.response_time:8.3f}s err={self.error_rate:6.2%} "
+            f"(n={self.queries})"
+        )
+
+
+class MetricsSummary:
+    """Aggregate of all clients' metrics for one simulation run."""
+
+    def __init__(self, clients: list[ClientMetrics]) -> None:
+        if not clients:
+            raise ValueError("summary needs at least one client")
+        self.clients = list(clients)
+        self.hit = RatioCounter("hit")
+        self.error = RatioCounter("error")
+        self.disconnected_error = RatioCounter("disconnected-error")
+        #: Hit ratio over time (half-hour buckets), for dynamics analysis.
+        self.hit_series = BucketedRatio(DEFAULT_SERIES_BUCKET, "hit")
+        self.response = Tally("response")
+        for client in self.clients:
+            self.hit.merge(client.hit)
+            self.error.merge(client.error)
+            self.disconnected_error.merge(client.disconnected_error)
+            self.hit_series.merge(client.hit_series)
+            self.response.merge(client.response)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsSummary hit={self.hit_ratio:.3f} "
+            f"err={self.error_rate:.3f} resp={self.response_time:.3f}s>"
+        )
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hit.ratio
+
+    @property
+    def error_rate(self) -> float:
+        return self.error.ratio
+
+    @property
+    def disconnected_error_rate(self) -> float:
+        """Error share of value-consuming reads made while disconnected."""
+        return self.disconnected_error.ratio
+
+    @property
+    def response_time(self) -> float:
+        """Mean response time across all queries of all clients."""
+        return self.response.mean
+
+    @property
+    def total_queries(self) -> int:
+        return sum(client.queries for client in self.clients)
+
+    @property
+    def total_accesses(self) -> int:
+        return self.hit.total
+
+    def response_confidence_interval(
+        self, level: float = 0.95
+    ) -> tuple[float, float]:
+        return self.response.confidence_interval(level)
+
+    def row(self, label: str) -> SummaryRow:
+        return SummaryRow(
+            label=label,
+            hit_ratio=self.hit_ratio,
+            response_time=self.response_time,
+            error_rate=self.error_rate,
+            queries=self.total_queries,
+        )

@@ -1,0 +1,91 @@
+"""Bucketed time series of ratio metrics.
+
+Aggregate hit/error ratios hide *dynamics*: how fast a replacement
+policy recovers after the hot set changes, how a burst backs the system
+up, how staleness accumulates during a disconnection.  A
+:class:`BucketedRatio` splits the horizon into fixed-width buckets and
+keeps a numerator/denominator pair per bucket, cheap enough to record
+every access.
+"""
+
+from __future__ import annotations
+
+
+class BucketedRatio:
+    """Per-time-bucket success ratios (e.g. hit ratio over time)."""
+
+    def __init__(self, bucket_seconds: float, name: str = "series") -> None:
+        if bucket_seconds <= 0:
+            raise ValueError(
+                f"bucket width must be positive, got {bucket_seconds!r}"
+            )
+        self.bucket_seconds = float(bucket_seconds)
+        self.name = name
+        self._hits: dict[int, int] = {}
+        self._totals: dict[int, int] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"<BucketedRatio {self.name!r} buckets={len(self._totals)} "
+            f"width={self.bucket_seconds:g}s>"
+        )
+
+    def record(self, now: float, success: bool) -> None:
+        bucket = int(now // self.bucket_seconds)
+        self._totals[bucket] = self._totals.get(bucket, 0) + 1
+        if success:
+            self._hits[bucket] = self._hits.get(bucket, 0) + 1
+
+    def series(self) -> list[tuple[float, float, int]]:
+        """(bucket start time, ratio, sample count) per non-empty bucket."""
+        out = []
+        for bucket in sorted(self._totals):
+            total = self._totals[bucket]
+            hits = self._hits.get(bucket, 0)
+            out.append((bucket * self.bucket_seconds, hits / total, total))
+        return out
+
+    def ratio_between(self, start: float, end: float) -> float:
+        """Aggregate ratio over [start, end) (0.0 if no samples)."""
+        hits = 0
+        total = 0
+        for bucket, count in self._totals.items():
+            time = bucket * self.bucket_seconds
+            if start <= time < end:
+                total += count
+                hits += self._hits.get(bucket, 0)
+        return hits / total if total else 0.0
+
+    def merge(self, other: "BucketedRatio") -> None:
+        """Fold another series (same bucket width) into this one."""
+        if other.bucket_seconds != self.bucket_seconds:
+            raise ValueError("bucket widths differ")
+        for bucket, count in other._totals.items():
+            self._totals[bucket] = self._totals.get(bucket, 0) + count
+        for bucket, count in other._hits.items():
+            self._hits[bucket] = self._hits.get(bucket, 0) + count
+
+    def sparkline(self, width: int = 60) -> str:
+        """A terminal sparkline of the ratio over time."""
+        points = self.series()
+        if not points:
+            return ""
+        blocks = " ▁▂▃▄▅▆▇█"
+        if len(points) > width:
+            # Downsample by averaging consecutive groups.
+            group = len(points) / width
+            sampled = []
+            for index in range(width):
+                chunk = points[
+                    int(index * group):max(
+                        int((index + 1) * group), int(index * group) + 1
+                    )
+                ]
+                sampled.append(sum(p[1] for p in chunk) / len(chunk))
+        else:
+            sampled = [ratio for __, ratio, __ in points]
+        return "".join(
+            blocks[min(int(ratio * (len(blocks) - 1)), len(blocks) - 2) + 1]
+            if ratio > 0 else blocks[0]
+            for ratio in sampled
+        )

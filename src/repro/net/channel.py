@@ -1,0 +1,75 @@
+"""Shared wireless channels.
+
+Two 19.2 Kbps channels are shared by all ten clients: one carries
+upstream queries, the other downstream results (Section 4).  A channel
+is a single FCFS facility — a message holds it for its transmission time,
+and contention (especially downstream under bursty arrivals) produces
+the queueing delays the paper discusses in Experiment #3.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro._units import KBPS, transmission_time
+from repro.errors import NetworkError
+from repro.sim.environment import Environment
+from repro.sim.resources import Resource
+
+#: The paper's wireless bandwidth per channel.
+WIRELESS_BANDWIDTH_BPS = 19.2 * KBPS
+
+
+class WirelessChannel:
+    """A single shared half-duplex wireless channel."""
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth_bps: float = WIRELESS_BANDWIDTH_BPS,
+        name: str = "channel",
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise NetworkError(
+                f"bandwidth must be positive, got {bandwidth_bps!r}"
+            )
+        self.env = env
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.name = name
+        self._facility = Resource(env, capacity=1, name=name)
+        self.bytes_carried = 0
+        self.messages_carried = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<WirelessChannel {self.name!r} {self.bandwidth_bps:g} bps "
+            f"queued={self.queue_length}>"
+        )
+
+    @property
+    def queue_length(self) -> int:
+        """Messages currently waiting behind the one in flight."""
+        return self._facility.queue_length
+
+    def transmission_time(self, size_bytes: float) -> float:
+        """Airtime for a message of ``size_bytes``."""
+        return transmission_time(size_bytes, self.bandwidth_bps)
+
+    def transmit(
+        self, size_bytes: float
+    ) -> t.Generator[t.Any, t.Any, None]:
+        """Occupy the channel for one message (``yield from`` this).
+
+        FCFS: callers queue behind whatever is already in flight.
+        """
+        if size_bytes < 0:
+            raise NetworkError(f"negative message size: {size_bytes!r}")
+        with self._facility.request() as grant:
+            yield grant
+            yield self.env.timeout(self.transmission_time(size_bytes))
+        self.bytes_carried += int(size_bytes)
+        self.messages_carried += 1
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the channel has been busy."""
+        return self._facility.utilization()

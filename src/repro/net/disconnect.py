@@ -1,0 +1,94 @@
+"""Disconnection modelling (Experiment #6).
+
+Each disconnected client gets one contiguous disconnection window of
+duration ``D`` placed uniformly at random within the simulated horizon;
+``V`` of the ten clients are disconnected.  While a client's clock sits
+inside one of its windows, queries are served purely from local storage.
+"""
+
+from __future__ import annotations
+
+import bisect
+import typing as t
+
+from repro.errors import NetworkError
+from repro.sim.rand import RandomStream
+
+#: One disconnection window: [start, end).
+Window = tuple[float, float]
+
+
+class DisconnectionSchedule:
+    """Per-client disconnection windows with O(log n) lookup."""
+
+    def __init__(
+        self, windows: t.Mapping[int, t.Sequence[Window]] | None = None
+    ) -> None:
+        self._windows: dict[int, list[Window]] = {}
+        self._starts: dict[int, list[float]] = {}
+        if windows:
+            for client_id, client_windows in windows.items():
+                for start, end in client_windows:
+                    self.add_window(client_id, start, end)
+
+    def __repr__(self) -> str:
+        total = sum(len(w) for w in self._windows.values())
+        return f"<DisconnectionSchedule windows={total}>"
+
+    def add_window(self, client_id: int, start: float, end: float) -> None:
+        """Register a [start, end) disconnection window for a client."""
+        if end <= start:
+            raise NetworkError(
+                f"window end must follow start: [{start!r}, {end!r})"
+            )
+        windows = self._windows.setdefault(client_id, [])
+        for other_start, other_end in windows:
+            if start < other_end and other_start < end:
+                raise NetworkError(
+                    f"window [{start:g}, {end:g}) overlaps "
+                    f"[{other_start:g}, {other_end:g}) for client {client_id}"
+                )
+        windows.append((start, end))
+        windows.sort()
+        self._starts[client_id] = [w[0] for w in windows]
+
+    def is_connected(self, client_id: int, now: float) -> bool:
+        """``False`` while ``now`` lies inside one of the client's windows."""
+        starts = self._starts.get(client_id)
+        if not starts:
+            return True
+        index = bisect.bisect_right(starts, now) - 1
+        if index < 0:
+            return True
+        start, end = self._windows[client_id][index]
+        return not (start <= now < end)
+
+    def windows_of(self, client_id: int) -> list[Window]:
+        return list(self._windows.get(client_id, []))
+
+    def disconnected_clients(self) -> list[int]:
+        return sorted(self._windows)
+
+    def total_disconnected_time(self, client_id: int) -> float:
+        return sum(end - start for start, end in
+                   self._windows.get(client_id, []))
+
+
+def plan_single_windows(
+    client_ids: t.Sequence[int],
+    duration: float,
+    horizon: float,
+    rng: RandomStream,
+) -> DisconnectionSchedule:
+    """One uniformly placed window of ``duration`` per listed client."""
+    if duration <= 0:
+        raise NetworkError(f"duration must be positive, got {duration!r}")
+    if duration > horizon:
+        raise NetworkError(
+            f"duration {duration!r} exceeds the horizon {horizon!r}"
+        )
+    schedule = DisconnectionSchedule()
+    for client_id in client_ids:
+        start = rng.uniform(0.0, horizon - duration)
+        schedule.add_window(client_id, start, start + duration)
+    return schedule

@@ -1,0 +1,152 @@
+"""Wire messages and their size accounting.
+
+Section 4: "The size of a remote request and a reply message depends on
+the caching granularity, but both have an 11-byte header including an IP
+address and a CRC for error detection."  Field sizes for OIDs, attribute
+ids, refresh times and the query descriptor are fixed here; DESIGN.md
+lists them among the derived settings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as t
+
+from repro.core.granularity import CacheKey, CachingGranularity
+from repro.oodb.objects import OID
+
+#: 11-byte message header (IP address + CRC), per the paper.
+HEADER_BYTES = 11
+#: Server object identifier on the wire.
+OID_BYTES = 8
+#: Attribute identifier (the paper's classes have at most a few dozen).
+ATTR_ID_BYTES = 1
+#: Refresh-time estimate shipped with every returned item.
+REFRESH_TIME_BYTES = 4
+#: Query descriptor: query id, kind, flags.
+QUERY_DESCRIPTOR_BYTES = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class UpdateValue:
+    """One attribute write carried upstream inside a request."""
+
+    attribute: str
+    value: int
+    size_bytes: int
+
+
+@dataclasses.dataclass
+class RequestMessage:
+    """Client-to-server query request.
+
+    * ``needed`` — per object, the attributes whose values the client
+      wants back (empty tuple = the whole object, used by OC/NC);
+    * ``existent`` — cache keys the query satisfied locally, so the
+      server must not retransmit them (and can update access statistics);
+    * ``held`` — further valid cache keys of objects on the needed list
+      that this query did *not* touch; they stop the hybrid prefetcher
+      from re-shipping attributes the client already has, but do not
+      count as accesses in the server's statistics;
+    * ``updates`` — attribute writes to apply at the server.
+
+    Size accounting groups existent/held entries by object: each distinct
+    OID not already on the wire costs :data:`OID_BYTES`, each attribute
+    id :data:`ATTR_ID_BYTES`.
+    """
+
+    client_id: int
+    query_id: int
+    granularity: CachingGranularity
+    needed: dict[OID, tuple[str, ...]]
+    existent: tuple[CacheKey, ...] = ()
+    held: tuple[CacheKey, ...] = ()
+    updates: dict[OID, tuple[UpdateValue, ...]] = dataclasses.field(
+        default_factory=dict
+    )
+
+    @property
+    def size_bytes(self) -> int:
+        size = HEADER_BYTES + QUERY_DESCRIPTOR_BYTES
+        oids_on_wire: set[OID] = set()
+        for oid, attrs in self.needed.items():
+            oids_on_wire.add(oid)
+            size += OID_BYTES + len(attrs) * ATTR_ID_BYTES
+        for oid, attribute in (*self.existent, *self.held):
+            if oid not in oids_on_wire:
+                oids_on_wire.add(oid)
+                size += OID_BYTES
+            if attribute is not None:
+                size += ATTR_ID_BYTES
+        for oid, changes in self.updates.items():
+            if oid not in oids_on_wire:
+                oids_on_wire.add(oid)
+                size += OID_BYTES
+            for change in changes:
+                size += ATTR_ID_BYTES + change.size_bytes
+        return size
+
+    @property
+    def is_pure_update(self) -> bool:
+        return not self.needed and bool(self.updates)
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplyItem:
+    """One returned item: an attribute value or a whole object.
+
+    ``attribute`` is ``None`` for whole objects, in which case ``value``
+    is the object's full attribute map and ``version`` its object-level
+    version.  ``refresh_time`` is the server's validity estimate
+    (``inf`` when the item has no write history yet).
+    """
+
+    oid: OID
+    attribute: str | None
+    value: t.Any
+    version: int
+    refresh_time: float
+    payload_bytes: int
+
+    @property
+    def key(self) -> CacheKey:
+        return (self.oid, self.attribute)
+
+    @property
+    def wire_bytes(self) -> int:
+        size = self.payload_bytes + REFRESH_TIME_BYTES
+        if self.attribute is not None:
+            size += ATTR_ID_BYTES
+        return size
+
+
+@dataclasses.dataclass
+class ReplyMessage:
+    """Server-to-client reply carrying values and refresh times.
+
+    ``is_trailer`` marks the second half of a split delivery: the server
+    sends the *requested* items first (completing the query's response)
+    and ships hybrid-caching prefetches as a separate trailing message,
+    so prefetch traffic loads the downlink without delaying the query
+    that triggered it.
+    """
+
+    client_id: int
+    query_id: int
+    items: tuple[ReplyItem, ...]
+    is_trailer: bool = False
+
+    @property
+    def size_bytes(self) -> int:
+        size = HEADER_BYTES
+        distinct_oids = {item.oid for item in self.items}
+        size += OID_BYTES * len(distinct_oids)
+        size += sum(item.wire_bytes for item in self.items)
+        return size
+
+    def expiry_deadline(self, item: ReplyItem, now: float) -> float:
+        """Absolute client-side expiry for ``item`` received at ``now``."""
+        if math.isinf(item.refresh_time):
+            return math.inf
+        return now + item.refresh_time

@@ -1,0 +1,49 @@
+"""The point-to-point wireless network: uplink + downlink + connectivity."""
+
+from __future__ import annotations
+
+from repro.net.channel import WIRELESS_BANDWIDTH_BPS, WirelessChannel
+from repro.net.disconnect import DisconnectionSchedule
+from repro.sim.environment import Environment
+
+
+class Network:
+    """Two shared channels and the disconnection schedule.
+
+    The paper dedicates one channel to upstream queries and one to
+    downstream results, both shared by every client.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth_bps: float = WIRELESS_BANDWIDTH_BPS,
+        schedule: DisconnectionSchedule | None = None,
+    ) -> None:
+        self.env = env
+        self.uplink = WirelessChannel(env, bandwidth_bps, name="uplink")
+        self.downlink = WirelessChannel(env, bandwidth_bps, name="downlink")
+        #: Broadcast channel used by the invalidation-report coherence
+        #: baseline; idle under the paper's refresh-time scheme.
+        self.broadcast = WirelessChannel(env, bandwidth_bps,
+                                         name="broadcast")
+        self.schedule = schedule or DisconnectionSchedule()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Network up={self.uplink.bandwidth_bps:g}bps "
+            f"down={self.downlink.bandwidth_bps:g}bps>"
+        )
+
+    def is_connected(self, client_id: int, now: float | None = None) -> bool:
+        """Whether ``client_id`` can reach the server right now."""
+        at = self.env.now if now is None else now
+        return self.schedule.is_connected(client_id, at)
+
+    @property
+    def bytes_upstream(self) -> int:
+        return self.uplink.bytes_carried
+
+    @property
+    def bytes_downstream(self) -> int:
+        return self.downlink.bytes_carried

@@ -1,0 +1,91 @@
+"""The database container and the paper's default database builder."""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import QueryError, SchemaError
+from repro.oodb.objects import DBObject, OID
+from repro.oodb.schema import Schema, default_root_schema
+from repro.sim.rand import RandomStream
+
+#: Database population used throughout the paper's evaluation.
+DEFAULT_OBJECT_COUNT = 2000
+
+
+class Database:
+    """All objects of a schema, indexed by OID."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._objects: dict[OID, DBObject] = {}
+
+    def __repr__(self) -> str:
+        return f"<Database objects={len(self._objects)}>"
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, oid: OID) -> bool:
+        return oid in self._objects
+
+    def add(self, obj: DBObject) -> None:
+        if obj.oid in self._objects:
+            raise SchemaError(f"duplicate object {obj.oid}")
+        if obj.class_def.name not in self.schema.classes:
+            raise SchemaError(
+                f"object {obj.oid} has class outside this schema"
+            )
+        self._objects[obj.oid] = obj
+
+    def get(self, oid: OID) -> DBObject:
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise QueryError(f"no such object: {oid}") from None
+
+    def oids(self, class_name: str | None = None) -> list[OID]:
+        """All OIDs, optionally restricted to one class (sorted, stable)."""
+        if class_name is None:
+            return sorted(self._objects)
+        return sorted(
+            oid for oid in self._objects if oid.class_name == class_name
+        )
+
+    def objects(self) -> t.Iterable[DBObject]:
+        return self._objects.values()
+
+    @property
+    def total_size_bytes(self) -> int:
+        return sum(obj.size_bytes for obj in self._objects.values())
+
+
+def build_default_database(
+    object_count: int = DEFAULT_OBJECT_COUNT,
+    rng: RandomStream | None = None,
+    schema: Schema | None = None,
+) -> Database:
+    """Create the paper's database: ``object_count`` ``Root`` objects.
+
+    Primitive attributes get arbitrary integer tokens; each relationship
+    points at a uniformly random *other* object so navigational queries
+    always have somewhere to go.
+    """
+    if object_count < 2:
+        raise SchemaError("need at least two objects for relationships")
+    rng = rng or RandomStream(seed=0, label="database")
+    schema = schema or default_root_schema()
+    class_def = schema.class_def("Root")
+    database = Database(schema)
+    for number in range(object_count):
+        values: dict[str, int] = {}
+        for name, attribute in class_def.attributes.items():
+            if attribute.is_relationship:
+                target = rng.randint(0, object_count - 2)
+                if target >= number:  # never self-reference
+                    target += 1
+                values[name] = target
+            else:
+                values[name] = rng.randint(0, 1_000_000)
+        database.add(DBObject(OID("Root", number), class_def, values))
+    return database

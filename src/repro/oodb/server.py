@@ -1,0 +1,405 @@
+"""The OODB server process.
+
+Serves remote requests from mobile clients: applies updates, reads
+qualified items through its memory buffer / disk, estimates refresh
+times, decides hybrid-caching prefetches, and ships replies over the
+shared downlink.  Replies are delivered by dedicated sender processes so
+they queue on the downlink channel exactly as the paper describes for
+bursty arrivals ("the results will be queued up at the downstream
+channel during bursty period").
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.core.coherence import RefreshTimeEstimator
+from repro.core.granularity import CachingGranularity
+from repro.core.invalidation import (
+    DEFAULT_IR_INTERVAL,
+    INVALIDATION_REPORT,
+    InvalidationReport,
+    REFRESH_TIME,
+    WriteLog,
+    broadcaster,
+)
+from repro.core.prefetch import AttributeAccessTracker
+from repro.errors import NetworkError
+from repro.net.message import ReplyItem, ReplyMessage, RequestMessage
+from repro.net.network import Network
+from repro.oodb.database import Database
+from repro.oodb.objects import DBObject, OID
+from repro.oodb.storage import StorageModel
+from repro.sim.environment import Environment
+from repro.sim.resources import Store
+
+#: The paper's server memory buffer: 25% of the 2000-object database.
+DEFAULT_SERVER_BUFFER_OBJECTS = 500
+
+DeliverFn = t.Callable[[ReplyMessage], None]
+
+
+class DatabaseServer:
+    """One OODB server with an LRU memory buffer over its disk."""
+
+    def __init__(
+        self,
+        env: Environment,
+        database: Database,
+        network: Network,
+        buffer_capacity: int = DEFAULT_SERVER_BUFFER_OBJECTS,
+        beta: float = 0.0,
+        prefetch_tracker: AttributeAccessTracker | None = None,
+        split_delivery: bool = True,
+        trailer_drop_queue_threshold: int | None = None,
+        objects_per_page: int = 4,
+        coherence_mode: str = REFRESH_TIME,
+        ir_interval: float = DEFAULT_IR_INTERVAL,
+        ir_object_keys: bool = False,
+        name: str = "server-0",
+    ) -> None:
+        if objects_per_page < 1:
+            raise NetworkError(
+                f"objects per page must be >= 1, got {objects_per_page!r}"
+            )
+        self.env = env
+        self.database = database
+        self.network = network
+        self.name = name
+        self.inbox: Store = Store(env, name=f"{name}-inbox")
+        self.storage = StorageModel(buffer_capacity, name=name)
+        #: Attribute-level write statistics (AC/HC refresh times).
+        self.attribute_estimator = RefreshTimeEstimator(beta)
+        #: Object-level write statistics (OC/NC refresh times).
+        self.object_estimator = RefreshTimeEstimator(beta)
+        self.prefetch_tracker = prefetch_tracker or AttributeAccessTracker()
+        #: Ship HC prefetches as a trailing message (True) or inline in
+        #: the primary reply (False, the naive scheme).
+        self.split_delivery = split_delivery
+        #: The paper's Experiment #3 timeout heuristic: when the shared
+        #: downlink's queue exceeds this many waiting messages, prefetch
+        #: trailers are dropped instead of transmitted, shedding load
+        #: during bursts.  ``None`` disables the heuristic.
+        self.trailer_drop_queue_threshold = trailer_drop_queue_threshold
+        #: Page size for the PC (page caching) baseline: a page is the
+        #: run of ``objects_per_page`` consecutive OIDs containing the
+        #: requested object — the server's physical clustering, which no
+        #: mobile client's access pattern matches.
+        self.objects_per_page = int(objects_per_page)
+        #: Coherence strategy: the paper's refresh-time scheme, or the
+        #: broadcast invalidation-report baseline from [2].
+        self.coherence_mode = coherence_mode
+        self.ir_interval = float(ir_interval)
+        #: Whether IRs carry object keys (OC/NC/PC) or attribute keys.
+        self.ir_object_keys = ir_object_keys
+        self.write_log = WriteLog()
+        self._deliver_fns: dict[int, DeliverFn] = {}
+        self._report_fns: dict[int, t.Callable[[InvalidationReport], None]] = {}
+        # Counters for reports and tests.
+        self.requests_served = 0
+        self.updates_applied = 0
+        self.items_returned = 0
+        self.items_prefetched = 0
+        self.trailers_dropped = 0
+
+    def __repr__(self) -> str:
+        return f"<DatabaseServer {self.name!r} served={self.requests_served}>"
+
+    def register_client(
+        self,
+        client_id: int,
+        deliver: DeliverFn,
+        on_report: "t.Callable[[InvalidationReport], None] | None" = None,
+    ) -> None:
+        """Register the delivery callback(s) for one client."""
+        if client_id in self._deliver_fns:
+            raise NetworkError(f"client {client_id} registered twice")
+        self._deliver_fns[client_id] = deliver
+        if on_report is not None:
+            self._report_fns[client_id] = on_report
+
+    def start(self) -> None:
+        """Launch the server's request-handling process."""
+        self.env.process(self._run(), name=self.name)
+        if self.coherence_mode == INVALIDATION_REPORT:
+            self.env.process(
+                broadcaster(
+                    self.env,
+                    self.write_log,
+                    self.network.broadcast,
+                    self._broadcast_report,
+                    interval=self.ir_interval,
+                ),
+                name=f"{self.name}-ir-broadcaster",
+            )
+
+    def _broadcast_report(self, report: InvalidationReport) -> None:
+        for on_report in self._report_fns.values():
+            on_report(report)
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def _run(self) -> t.Generator[t.Any, t.Any, None]:
+        while True:
+            request = yield self.inbox.get()
+            reply, trailer, service_time = self.serve(request)
+            if service_time > 0:
+                yield self.env.timeout(service_time)
+            self.env.process(
+                self._send(reply, trailer),
+                name=f"{self.name}-send-{reply.query_id}",
+            )
+
+    def _send(
+        self, reply: ReplyMessage, trailer: ReplyMessage | None
+    ) -> t.Generator[t.Any, t.Any, None]:
+        deliver = self._deliver_fns.get(reply.client_id)
+        if deliver is None:
+            raise NetworkError(
+                f"no delivery route for client {reply.client_id}"
+            )
+        yield from self.network.downlink.transmit(reply.size_bytes)
+        deliver(reply)
+        if trailer is not None:
+            threshold = self.trailer_drop_queue_threshold
+            if (
+                threshold is not None
+                and self.network.downlink.queue_length >= threshold
+            ):
+                # Timeout heuristic: the downlink is backed up, so shed
+                # the prefetch trailer rather than worsen the queue.
+                self.trailers_dropped += 1
+                return
+            # Prefetches trail the requested items: they occupy the
+            # downlink (and can congest it under bursty load) but never
+            # delay the response of the query that triggered them.
+            yield from self.network.downlink.transmit(trailer.size_bytes)
+            deliver(trailer)
+
+    def serve(
+        self, request: RequestMessage
+    ) -> tuple[ReplyMessage, ReplyMessage | None, float]:
+        """Process one request synchronously.
+
+        Returns (reply, prefetch trailer or ``None``, service time).
+        Split out from the process loop so unit tests can drive the
+        server without a running event loop.
+        """
+        now = self.env.now
+        service_time = 0.0
+        self.requests_served += 1
+        self._record_access_statistics(request)
+
+        for oid, changes in request.updates.items():
+            obj = self.database.get(oid)
+            service_time += self.storage.write(oid, obj.size_bytes)
+            for change in changes:
+                obj.write(change.attribute, change.value, now)
+                self.attribute_estimator.record_write(
+                    (oid, change.attribute), now
+                )
+                if not self.ir_object_keys:
+                    self.write_log.record((oid, change.attribute), now)
+                self.updates_applied += 1
+            self.object_estimator.record_write(oid, now)
+            if self.ir_object_keys:
+                self.write_log.record((oid, None), now)
+
+        items: list[ReplyItem] = []
+        prefetched: list[ReplyItem] = []
+        client_has = _attrs_by_oid(request.existent, request.held)
+        held_objects = _object_keys(request.existent, request.held)
+        sent_objects: set[OID] = set()
+        for oid, attributes in request.needed.items():
+            obj = self.database.get(oid)
+            service_time += self.storage.access(oid, obj.size_bytes)
+            if request.granularity is CachingGranularity.PAGE:
+                service_time += self._serve_page(
+                    oid, held_objects, sent_objects, items
+                )
+            elif request.granularity.caches_objects:
+                items.append(self._whole_object_item(obj))
+            else:
+                for attribute in attributes:
+                    items.append(self._attribute_item(obj, attribute))
+                if request.granularity is CachingGranularity.HYBRID:
+                    prefetched.extend(
+                        self._prefetch_items(
+                            request.client_id,
+                            obj,
+                            set(attributes),
+                            client_has.get(oid, set()),
+                        )
+                    )
+        self.items_returned += len(items)
+        reply = ReplyMessage(
+            client_id=request.client_id,
+            query_id=request.query_id,
+            items=tuple(items),
+        )
+        trailer = None
+        if prefetched and self.split_delivery:
+            trailer = ReplyMessage(
+                client_id=request.client_id,
+                query_id=request.query_id,
+                items=tuple(prefetched),
+                is_trailer=True,
+            )
+        elif prefetched:
+            reply = ReplyMessage(
+                client_id=request.client_id,
+                query_id=request.query_id,
+                items=tuple(items) + tuple(prefetched),
+            )
+        return reply, trailer, service_time
+
+    # ------------------------------------------------------------------
+    # Page serving (the PC baseline)
+    # ------------------------------------------------------------------
+    def _page_members(self, oid: OID) -> list[OID]:
+        """OIDs of the page containing ``oid`` (consecutive numbers)."""
+        page = oid.number // self.objects_per_page
+        first = page * self.objects_per_page
+        members = []
+        for number in range(first, first + self.objects_per_page):
+            candidate = OID(oid.class_name, number)
+            if candidate in self.database:
+                members.append(candidate)
+        return members
+
+    def _serve_page(
+        self,
+        oid: OID,
+        held_objects: set[OID],
+        sent_objects: set[OID],
+        items: list[ReplyItem],
+    ) -> float:
+        """Append the whole page containing ``oid``; return extra service
+        time for page-mates (the requested object's read is already
+        charged by the caller).  Page-mates the client holds valid are
+        skipped; the requested object itself is always sent."""
+        service_time = 0.0
+        for member in self._page_members(oid):
+            if member in sent_objects:
+                continue
+            if member != oid and member in held_objects:
+                continue
+            sent_objects.add(member)
+            member_obj = self.database.get(member)
+            if member != oid:
+                service_time += self.storage.access(
+                    member, member_obj.size_bytes
+                )
+            items.append(self._whole_object_item(member_obj))
+        return service_time
+
+    # ------------------------------------------------------------------
+    # Item construction
+    # ------------------------------------------------------------------
+    def _whole_object_item(self, obj: DBObject) -> ReplyItem:
+        values = {
+            name: obj.read(name) for name in obj.class_def.attribute_names
+        }
+        payload = sum(
+            attribute.size_bytes
+            for attribute in obj.class_def.attributes.values()
+        )
+        return ReplyItem(
+            oid=obj.oid,
+            attribute=None,
+            value=values,
+            version=obj.object_version,
+            refresh_time=self._refresh_time(
+                self.object_estimator, obj.oid
+            ),
+            payload_bytes=payload,
+        )
+
+    def _attribute_item(self, obj: DBObject, attribute: str) -> ReplyItem:
+        definition = obj.class_def.attribute(attribute)
+        return ReplyItem(
+            oid=obj.oid,
+            attribute=attribute,
+            value=obj.read(attribute),
+            version=obj.version_of(attribute),
+            refresh_time=self._refresh_time(
+                self.attribute_estimator, (obj.oid, attribute)
+            ),
+            payload_bytes=definition.size_bytes,
+        )
+
+    def _prefetch_items(
+        self,
+        client_id: int,
+        obj: DBObject,
+        requested: set[str],
+        client_has: set[str],
+    ) -> list[ReplyItem]:
+        """HC extras: hot attributes the client neither asked for nor holds."""
+        hot = self.prefetch_tracker.prefetch_set(client_id, obj.class_def)
+        extras = sorted(hot - requested - client_has)
+        items = [self._attribute_item(obj, attribute) for attribute in extras]
+        self.items_prefetched += len(items)
+        return items
+
+    def _refresh_time(
+        self, estimator: RefreshTimeEstimator, item: t.Hashable
+    ) -> float:
+        """Validity duration for an item under the active coherence mode.
+
+        Under invalidation reports entries stay valid until invalidated,
+        so the shipped refresh time is infinite.
+        """
+        if self.coherence_mode == INVALIDATION_REPORT:
+            return float("inf")
+        return estimator.refresh_time(item)
+
+    def _record_access_statistics(self, request: RequestMessage) -> None:
+        """Feed the prefetch tracker with everything the client accessed.
+
+        The request names both the attributes it needs and (existent
+        list) the ones it satisfied locally, giving the server the full
+        access picture for attribute-grained granularities.
+        """
+        client_id = request.client_id
+        for oid, attributes in request.needed.items():
+            for attribute in attributes:
+                self.prefetch_tracker.record_access(
+                    client_id, oid.class_name, attribute
+                )
+        for oid, attribute in request.existent:
+            if attribute is not None:
+                self.prefetch_tracker.record_access(
+                    client_id, oid.class_name, attribute
+                )
+
+    # ------------------------------------------------------------------
+    # Oracle access for the error metric
+    # ------------------------------------------------------------------
+    def current_version(self, oid: OID, attribute: str | None) -> int:
+        """Perfect-knowledge version lookup used by the error oracle."""
+        obj = self.database.get(oid)
+        if attribute is None:
+            return obj.object_version
+        return obj.version_of(attribute)
+
+
+def _attrs_by_oid(*key_lists: tuple) -> dict[OID, set[str]]:
+    """Group attribute-grained cache keys by OID (object keys ignored)."""
+    out: dict[OID, set[str]] = {}
+    for keys in key_lists:
+        for oid, attribute in keys:
+            if attribute is not None:
+                out.setdefault(oid, set()).add(attribute)
+    return out
+
+
+def _object_keys(*key_lists: tuple) -> set[OID]:
+    """OIDs of object-grained cache keys (attribute keys ignored)."""
+    out: set[OID] = set()
+    for keys in key_lists:
+        for oid, attribute in keys:
+            if attribute is None:
+                out.add(oid)
+    return out

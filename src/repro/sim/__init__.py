@@ -1,0 +1,43 @@
+"""Discrete-event simulation kernel (the CSIM substitute).
+
+Public surface::
+
+    from repro.sim import Environment, Resource, Store, RandomStream
+
+    env = Environment()
+
+    def greeter(env):
+        yield env.timeout(3.0)
+        return "hello at t=3"
+
+    proc = env.process(greeter(env))
+    env.run()
+    assert proc.value == "hello at t=3"
+"""
+
+from repro.sim.environment import Environment
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.monitor import RatioCounter, Tally, TimeWeighted, summarize
+from repro.sim.process import Interrupt, Process
+from repro.sim.rand import RandomStream, cumulative
+from repro.sim.resources import Request, Resource, Store, StoreGet
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "RandomStream",
+    "RatioCounter",
+    "Request",
+    "Resource",
+    "Store",
+    "StoreGet",
+    "Tally",
+    "TimeWeighted",
+    "Timeout",
+    "cumulative",
+    "summarize",
+]

@@ -1,0 +1,151 @@
+"""The simulation environment: clock, event queue and run loop."""
+
+from __future__ import annotations
+
+import heapq
+import typing as t
+from itertools import count
+
+from repro.errors import SchedulingError, SimulationError, StopSimulation
+from repro.sim.events import AllOf, AnyOf, Event, NORMAL, Timeout
+from repro.sim.process import Process, ProcessGenerator
+
+
+class Environment:
+    """Owner of the simulated clock and the pending-event queue.
+
+    Events scheduled for the same instant fire in (priority, insertion)
+    order, which makes every simulation run fully deterministic for a
+    given seedset.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        #: Heap of (time, priority, sequence, event).
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = count()
+        self._active_process: Process | None = None
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now!r} pending={len(self._queue)}>"
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered event bound to this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: t.Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: ProcessGenerator, name: str | None = None
+    ) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: t.Iterable[Event]) -> AnyOf:
+        """Event firing when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: t.Iterable[Event]) -> AllOf:
+        """Event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and the run loop
+    # ------------------------------------------------------------------
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL
+    ) -> None:
+        """Queue ``event`` to be processed ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule into the past: {delay!r}")
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._seq), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` when the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("nothing left to simulate")
+        self._now, __, __, event = heapq.heappop(self._queue)
+        callbacks = event.callbacks
+        event.callbacks = None  # marks the event processed
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif not event.ok:
+            # A failed event nobody waits on would silently swallow the
+            # exception; surface it instead ("errors should never pass
+            # silently").
+            raise t.cast(BaseException, event.value)
+
+    def run(self, until: "float | Event | None" = None) -> t.Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue drains;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (and raising its exception if it failed).
+        """
+        stop_value: t.Any = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            if until.processed:
+                return until.value
+            assert until.callbacks is not None
+            until.callbacks.append(self._stop_on_event)
+        else:
+            at = float(until)
+            if at < self._now:
+                raise SchedulingError(
+                    f"cannot run until {at!r}; clock is at {self._now!r}"
+                )
+            stopper = Event(self)
+            stopper._ok = True
+            stopper._value = None
+            stopper.callbacks.append(self._stop_on_event)  # type: ignore[union-attr]
+            self.schedule(stopper, delay=at - self._now, priority=-1)
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:
+            stop_value = stop.value
+            if isinstance(until, Event):
+                if not until.ok:
+                    raise t.cast(BaseException, until.value)
+                return until.value
+            if isinstance(until, (int, float)):
+                # Clamp the clock exactly at the stop time.
+                self._now = float(until)
+            return stop_value
+        if isinstance(until, Event) and not until.processed:
+            raise SimulationError(
+                "event queue drained before the awaited event fired"
+            )
+        return stop_value
+
+    @staticmethod
+    def _stop_on_event(event: Event) -> None:
+        raise StopSimulation(event._value)

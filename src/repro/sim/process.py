@@ -1,0 +1,147 @@
+"""Generator-based simulation processes.
+
+A *process* wraps a Python generator.  Each ``yield`` hands an
+:class:`~repro.sim.events.Event` to the kernel; the generator is resumed
+with the event's value once it fires (or the event's exception is thrown
+into the generator if the event failed).
+
+A process is itself an event: it triggers with the generator's return
+value when the generator finishes, so processes can wait on each other::
+
+    def parent(env):
+        child_proc = env.process(child(env))
+        result = yield child_proc
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.events import Event, URGENT
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.environment import Environment
+
+ProcessGenerator = t.Generator[Event, t.Any, t.Any]
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The interrupting party supplies an arbitrary ``cause`` describing why
+    (e.g. a disconnection notice).
+    """
+
+    @property
+    def cause(self) -> t.Any:
+        return self.args[0]
+
+
+class Process(Event):
+    """A running simulation process.
+
+    Triggered (as an event) when the underlying generator terminates; the
+    event value is the generator's return value, or the uncaught exception
+    if the generator failed.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: ProcessGenerator,
+        name: str | None = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process body must be a generator, got {generator!r}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process currently waits on (None while resuming).
+        self._target: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off the generator at the current simulation time via an
+        # initialisation event so process start order is deterministic.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)  # type: ignore[union-attr]
+        env.schedule(init, priority=URGENT)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} ({'alive' if self.is_alive else 'dead'})>"
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the generator has not terminated."""
+        return not self.triggered
+
+    def interrupt(self, cause: t.Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process must be alive and must not interrupt itself.
+        """
+        if not self.is_alive:
+            raise SchedulingError(f"{self!r} has already terminated")
+        if self.env.active_process is self:
+            raise SchedulingError("a process cannot interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        # Deliver ahead of ordinary events scheduled for the same instant.
+        interrupt_event.callbacks.append(self._resume)  # type: ignore[union-attr]
+        self.env.schedule(interrupt_event, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        if self.triggered:
+            # Process already finished (e.g. interrupted after completion
+            # was scheduled); nothing to resume.
+            return
+        # Detach from the event we were waiting on: an interrupt may arrive
+        # while a different target is pending, in which case the old target
+        # must no longer resume us when it fires.
+        if self._target is not None and self._target is not event:
+            callbacks = self._target.callbacks
+            if callbacks is not None and self._resume in callbacks:
+                callbacks.remove(self._resume)
+        self._target = None
+
+        self.env._active_process = self
+        try:
+            if event.ok:
+                next_target = self._generator.send(event.value)
+            else:
+                exc = t.cast(BaseException, event.value)
+                next_target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(next_target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {next_target!r}, "
+                "which is not an Event"
+            )
+        if next_target.processed:
+            # Already fired and drained: resume immediately at this instant.
+            immediate = Event(self.env)
+            immediate._ok = next_target.ok
+            immediate._value = next_target._value
+            immediate.callbacks.append(self._resume)  # type: ignore[union-attr]
+            self.env.schedule(immediate, priority=URGENT)
+        else:
+            self._target = next_target
+            assert next_target.callbacks is not None
+            next_target.callbacks.append(self._resume)

@@ -1,0 +1,171 @@
+"""Shared resources: FCFS facilities and stores.
+
+:class:`Resource` models a CSIM-style *facility* — a server (or several)
+with a first-come-first-served queue.  The wireless channels, the server
+disk and client disks are all facilities with capacity one.
+
+:class:`Store` is an unbounded producer/consumer buffer used for message
+passing between client and server processes.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.environment import Environment
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`.
+
+    Usable as a context manager so the resource is always released::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A facility with ``capacity`` identical servers and a FCFS queue."""
+
+    def __init__(
+        self, env: "Environment", capacity: int = 1, name: str = "resource"
+    ) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity!r}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._users: list[Request] = []
+        self._waiting: deque[Request] = deque()
+        # Utilisation accounting (busy integral over time).
+        self._busy_since = env.now
+        self._busy_integral = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<Resource {self.name!r} users={len(self._users)}"
+            f"/{self.capacity} queued={len(self._waiting)}>"
+        )
+
+    @property
+    def user_count(self) -> int:
+        """Number of requests currently holding the resource."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for the resource."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Claim the resource; the returned event fires once granted."""
+        self._account()
+        request = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.append(request)
+            request.succeed()
+        else:
+            self._waiting.append(request)
+        return request
+
+    def release(self, request: Request) -> None:
+        """Give up a granted (or cancel a still-queued) request."""
+        self._account()
+        if request in self._users:
+            self._users.remove(request)
+            while self._waiting and len(self._users) < self.capacity:
+                nxt = self._waiting.popleft()
+                self._users.append(nxt)
+                nxt.succeed()
+        else:
+            # Cancelling a queued request is legal (e.g. an interrupted
+            # process backing out); releasing twice is not an error either,
+            # so the context-manager form stays exception safe.
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                pass
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time at least one server was busy."""
+        self._account()
+        if self.env.now == 0:
+            return 0.0
+        return self._busy_integral / self.env.now
+
+    def _account(self) -> None:
+        now = self.env.now
+        if self._users:
+            self._busy_integral += now - self._busy_since
+        self._busy_since = now
+
+
+class StoreGet(Event):
+    """A pending retrieval from a :class:`Store`."""
+
+    __slots__ = ()
+
+
+class Store:
+    """An unbounded FIFO buffer of arbitrary items.
+
+    ``put`` never blocks; ``get`` returns an event that fires with the
+    oldest item as soon as one is available.
+    """
+
+    def __init__(self, env: "Environment", name: str = "store") -> None:
+        self.env = env
+        self.name = name
+        self._items: deque[t.Any] = deque()
+        self._getters: deque[StoreGet] = deque()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Store {self.name!r} items={len(self._items)}"
+            f" waiting={len(self._getters)}>"
+        )
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: t.Any) -> None:
+        """Deposit ``item``, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> StoreGet:
+        """Return an event that fires with the next available item."""
+        event = StoreGet(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def cancel(self, event: StoreGet) -> None:
+        """Withdraw a still-pending get (used on interrupt/disconnect)."""
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            pass

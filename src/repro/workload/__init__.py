@@ -1,0 +1,41 @@
+"""Workload generation: heat, arrivals and query synthesis."""
+
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    BurstyArrival,
+    DEFAULT_ARRIVAL_RATE,
+    PAPER_DAY_PROFILE,
+    PoissonArrival,
+    RatePeriod,
+)
+from repro.workload.heat import (
+    ChangingSkewedHeat,
+    CyclicHeat,
+    HeatDistribution,
+    SkewedHeat,
+    UniformHeat,
+)
+from repro.workload.queries import (
+    DEFAULT_ATTRS_PER_OBJECT,
+    DEFAULT_SELECTIVITY,
+    QueryWorkload,
+    skewed_weights,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrival",
+    "ChangingSkewedHeat",
+    "CyclicHeat",
+    "DEFAULT_ARRIVAL_RATE",
+    "DEFAULT_ATTRS_PER_OBJECT",
+    "DEFAULT_SELECTIVITY",
+    "HeatDistribution",
+    "PAPER_DAY_PROFILE",
+    "PoissonArrival",
+    "QueryWorkload",
+    "RatePeriod",
+    "SkewedHeat",
+    "UniformHeat",
+    "skewed_weights",
+]

@@ -1,0 +1,215 @@
+"""Object heat distributions (the paper's second experimental dimension).
+
+* **SH** — skewed heat: an 80/20 rule; 20% of objects are hot and draw
+  80% of the accesses.  Each client gets its *own* randomly picked hot
+  set ("we ensure that the hot objects of each client are not
+  identical").
+* **CSH** — changing skewed heat: the hot set is re-picked after every
+  ``change_every`` queries of the client.
+* **Cyclic** — the LRU-k-style pattern of Experiment #4's second half: a
+  fixed hot set plus a sequential scan cycling over the whole database,
+  so previously referenced items return after a fixed period.  LRU's
+  weakness and LRU-k's strength on this pattern are exactly what the
+  paper's Figure 6 shows.
+* **Uniform** — no skew at all (extension baseline).
+"""
+
+from __future__ import annotations
+
+import abc
+import typing as t
+
+from repro.errors import ConfigurationError
+from repro.oodb.objects import OID
+from repro.sim.rand import RandomStream
+
+
+class HeatDistribution(abc.ABC):
+    """Selects the distinct objects a query touches."""
+
+    @abc.abstractmethod
+    def select_objects(self, query_index: int, count: int) -> list[OID]:
+        """Pick ``count`` distinct OIDs for the client's ``query_index``-th
+        query."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class UniformHeat(HeatDistribution):
+    """Every object equally likely."""
+
+    def __init__(self, oids: t.Sequence[OID], rng: RandomStream) -> None:
+        if not oids:
+            raise ConfigurationError("empty object population")
+        self._oids = list(oids)
+        self._rng = rng
+
+    def select_objects(self, query_index: int, count: int) -> list[OID]:
+        if count > len(self._oids):
+            raise ConfigurationError(
+                f"cannot select {count} of {len(self._oids)} objects"
+            )
+        return self._rng.sample(self._oids, count)
+
+
+class SkewedHeat(HeatDistribution):
+    """The 80/20 rule with a per-client hot set."""
+
+    def __init__(
+        self,
+        oids: t.Sequence[OID],
+        rng: RandomStream,
+        hot_fraction: float = 0.2,
+        hot_access_probability: float = 0.8,
+    ) -> None:
+        if not 0.0 < hot_fraction < 1.0:
+            raise ConfigurationError(
+                f"hot fraction must lie in (0, 1), got {hot_fraction!r}"
+            )
+        if not 0.0 <= hot_access_probability <= 1.0:
+            raise ConfigurationError(
+                f"hot access probability out of range: "
+                f"{hot_access_probability!r}"
+            )
+        self._oids = list(oids)
+        if len(self._oids) < 2:
+            raise ConfigurationError("need at least two objects")
+        self._rng = rng
+        self.hot_fraction = hot_fraction
+        self.hot_access_probability = hot_access_probability
+        self._hot: list[OID] = []
+        self._cold: list[OID] = []
+        self.reselect_hot_set()
+
+    @property
+    def hot_set(self) -> frozenset[OID]:
+        return frozenset(self._hot)
+
+    def reselect_hot_set(self) -> None:
+        """Pick a fresh random hot set (used directly by CSH)."""
+        hot_count = max(1, round(self.hot_fraction * len(self._oids)))
+        hot = set(self._rng.sample(self._oids, hot_count))
+        self._hot = sorted(hot)
+        self._cold = sorted(set(self._oids) - hot)
+
+    def select_objects(self, query_index: int, count: int) -> list[OID]:
+        if count > len(self._oids):
+            raise ConfigurationError(
+                f"cannot select {count} of {len(self._oids)} objects"
+            )
+        chosen: set[OID] = set()
+        picks: list[OID] = []
+        attempts = 0
+        while len(picks) < count:
+            attempts += 1
+            if attempts > 50 * count:
+                # Degenerate configurations (tiny buckets, extreme skew)
+                # could loop forever on rejections; finish deterministically
+                # with whatever objects remain.
+                remaining = [o for o in self._oids if o not in chosen]
+                picks.extend(remaining[: count - len(picks)])
+                break
+            if self._rng.bernoulli(self.hot_access_probability):
+                bucket = self._hot
+            else:
+                bucket = self._cold
+            candidate = bucket[self._rng.randint(0, len(bucket) - 1)]
+            if candidate not in chosen:
+                chosen.add(candidate)
+                picks.append(candidate)
+        return picks
+
+    def describe(self) -> str:
+        return "SH"
+
+
+class ChangingSkewedHeat(SkewedHeat):
+    """SH whose hot set is re-picked every ``change_every`` queries."""
+
+    def __init__(
+        self,
+        oids: t.Sequence[OID],
+        rng: RandomStream,
+        change_every: int = 500,
+        hot_fraction: float = 0.2,
+        hot_access_probability: float = 0.8,
+    ) -> None:
+        if change_every < 1:
+            raise ConfigurationError(
+                f"change interval must be >= 1, got {change_every!r}"
+            )
+        self.change_every = int(change_every)
+        self._era = 0
+        super().__init__(oids, rng, hot_fraction, hot_access_probability)
+
+    def select_objects(self, query_index: int, count: int) -> list[OID]:
+        era = query_index // self.change_every
+        if era != self._era:
+            self._era = era
+            self.reselect_hot_set()
+        return super().select_objects(query_index, count)
+
+    def describe(self) -> str:
+        return f"CSH-{self.change_every}"
+
+
+class CyclicHeat(HeatDistribution):
+    """Hot set plus a cyclic sequential scan (the LRU-k stress pattern).
+
+    A ``scan_fraction`` of each query's picks walk the database in OID
+    order, wrapping around; the rest come from a fixed hot set.  Scanned
+    items recur after exactly one full cycle, so policies that react to
+    a single recent touch (LRU) churn, while history-based ones (LRU-k,
+    EWMA) hold the hot set.
+    """
+
+    def __init__(
+        self,
+        oids: t.Sequence[OID],
+        rng: RandomStream,
+        hot_fraction: float = 0.2,
+        scan_fraction: float = 0.3,
+    ) -> None:
+        if not 0.0 <= scan_fraction <= 1.0:
+            raise ConfigurationError(
+                f"scan fraction out of range: {scan_fraction!r}"
+            )
+        self._all = sorted(oids)
+        if len(self._all) < 2:
+            raise ConfigurationError("need at least two objects")
+        self._rng = rng
+        hot_count = max(1, round(hot_fraction * len(self._all)))
+        self._hot = sorted(rng.sample(self._all, hot_count))
+        self.scan_fraction = scan_fraction
+        self._cursor = 0
+
+    @property
+    def hot_set(self) -> frozenset[OID]:
+        return frozenset(self._hot)
+
+    def select_objects(self, query_index: int, count: int) -> list[OID]:
+        if count > len(self._all):
+            raise ConfigurationError(
+                f"cannot select {count} of {len(self._all)} objects"
+            )
+        scan_quota = round(self.scan_fraction * count)
+        picks: list[OID] = []
+        chosen: set[OID] = set()
+        while len(picks) < scan_quota:
+            candidate = self._all[self._cursor]
+            self._cursor = (self._cursor + 1) % len(self._all)
+            if candidate not in chosen:
+                chosen.add(candidate)
+                picks.append(candidate)
+        while len(picks) < count:
+            candidate = self._hot[
+                self._rng.randint(0, len(self._hot) - 1)
+            ]
+            if candidate not in chosen:
+                chosen.add(candidate)
+                picks.append(candidate)
+        return picks
+
+    def describe(self) -> str:
+        return "cyclic"

@@ -1,0 +1,102 @@
+"""Unit tests for granularities and cache entries."""
+
+import math
+
+import pytest
+
+from repro.core.entry import CacheEntry, NEVER_EXPIRES
+from repro.core.granularity import CachingGranularity
+from repro.errors import ConfigurationError
+from repro.oodb.objects import OID
+
+
+class TestCachingGranularity:
+    def test_parse_all_labels(self):
+        assert CachingGranularity.parse("NC") is CachingGranularity.NO_CACHING
+        assert CachingGranularity.parse("ac") is CachingGranularity.ATTRIBUTE
+        assert CachingGranularity.parse("Oc") is CachingGranularity.OBJECT
+        assert CachingGranularity.parse("HC") is CachingGranularity.HYBRID
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            CachingGranularity.parse("XYZ")
+
+    def test_object_granularities(self):
+        assert CachingGranularity.NO_CACHING.caches_objects
+        assert CachingGranularity.OBJECT.caches_objects
+        assert not CachingGranularity.ATTRIBUTE.caches_objects
+        assert not CachingGranularity.HYBRID.caches_objects
+
+    def test_storage_cache_usage(self):
+        assert not CachingGranularity.NO_CACHING.uses_storage_cache
+        for label in ("AC", "OC", "HC"):
+            assert CachingGranularity.parse(label).uses_storage_cache
+
+    def test_prefetching_granularities(self):
+        assert CachingGranularity.OBJECT.prefetches
+        assert CachingGranularity.HYBRID.prefetches
+        assert not CachingGranularity.ATTRIBUTE.prefetches
+        assert not CachingGranularity.NO_CACHING.prefetches
+
+    def test_key_for(self):
+        oid = OID("Root", 1)
+        assert CachingGranularity.ATTRIBUTE.key_for(oid, "a0") == (oid, "a0")
+        assert CachingGranularity.HYBRID.key_for(oid, "a0") == (oid, "a0")
+        assert CachingGranularity.OBJECT.key_for(oid, "a0") == (oid, None)
+        assert CachingGranularity.NO_CACHING.key_for(oid, "a0") == (oid, None)
+
+
+class TestCacheEntry:
+    def make(self, expires_at=NEVER_EXPIRES):
+        return CacheEntry(
+            key=(OID("Root", 1), "a0"),
+            value=42,
+            version=0,
+            size_bytes=80,
+            fetched_at=0.0,
+            expires_at=expires_at,
+        )
+
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            CacheEntry(
+                key=(OID("Root", 1), "a0"),
+                value=1,
+                version=0,
+                size_bytes=0,
+                fetched_at=0.0,
+            )
+
+    def test_never_expires_by_default(self):
+        entry = self.make()
+        assert entry.is_valid(1e12)
+        assert math.isinf(entry.expires_at)
+
+    def test_validity_boundary(self):
+        entry = self.make(expires_at=100.0)
+        assert entry.is_valid(100.0)
+        assert not entry.is_valid(100.0001)
+
+    def test_refresh_updates_everything(self):
+        entry = self.make(expires_at=10.0)
+        entry.refresh(value=99, version=5, now=20.0, expires_at=50.0)
+        assert entry.value == 99
+        assert entry.version == 5
+        assert entry.fetched_at == 20.0
+        assert entry.is_valid(40.0)
+        assert not entry.is_valid(60.0)
+
+
+class TestPageGranularity:
+    def test_parse(self):
+        assert CachingGranularity.parse("PC") is CachingGranularity.PAGE
+
+    def test_page_caches_objects(self):
+        page = CachingGranularity.PAGE
+        assert page.caches_objects
+        assert page.uses_storage_cache
+        assert page.prefetches
+
+    def test_page_key_is_object_key(self):
+        oid = OID("Root", 1)
+        assert CachingGranularity.PAGE.key_for(oid, "a0") == (oid, None)

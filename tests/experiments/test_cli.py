@@ -1,0 +1,66 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "#1 (Fig 2)" in out
+
+
+def test_list_policies(capsys):
+    assert main(["list-policies"]) == 0
+    out = capsys.readouterr().out
+    assert "ewma" in out
+    assert "lru" in out
+
+
+def test_run_short_simulation(capsys):
+    code = main(
+        [
+            "run",
+            "--granularity",
+            "AC",
+            "--hours",
+            "0.3",
+            "--clients",
+            "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hit ratio" in out
+    assert "response time" in out
+
+
+def test_run_rejects_bad_granularity():
+    with pytest.raises(SystemExit):
+        main(["run", "--granularity", "ZZ"])
+
+
+def test_experiment_requires_valid_number():
+    with pytest.raises(SystemExit):
+        main(["experiment", "9", "--hours", "0.1"])
+
+
+def test_no_command_exits():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_experiment_four_smoke(capsys):
+    """One full experiment command at a tiny horizon."""
+    assert main(["experiment", "4", "--hours", "0.2", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "Figure 6" in out
+    assert "ewma-0.5" in out
+
+
+def test_experiment_six_smoke(capsys):
+    assert main(["experiment", "6", "--hours", "0.2", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "disc-err" in out

@@ -1,0 +1,112 @@
+"""Unit tests for SimulationConfig validation and helpers."""
+
+import pytest
+
+from repro._units import HOUR
+from repro.errors import ConfigurationError
+from repro.experiments.config import SimulationConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        SimulationConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("granularity", "XX"),
+            ("query_kind", "ZQ"),
+            ("arrival", "weekly"),
+            ("heat", "volcanic"),
+            ("update_probability", 1.5),
+            ("update_probability", -0.1),
+            ("num_clients", 0),
+            ("num_objects", 1),
+            ("selectivity", 0),
+            ("selectivity", 99999),
+            ("horizon_hours", 0.0),
+            ("arrival_rate", 0.0),
+            ("wireless_bps", 0),
+            ("server_buffer_objects", 0),
+            ("client_cache_objects", 0),
+            ("client_buffer_objects", 0),
+            ("disconnected_clients", 11),
+        ],
+    )
+    def test_invalid_value_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(**{field: value})
+
+    def test_disconnection_requires_duration(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(disconnected_clients=3)
+
+    def test_disconnection_must_fit_horizon(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(
+                disconnected_clients=3,
+                disconnection_hours=10.0,
+                horizon_hours=5.0,
+            )
+
+    def test_valid_disconnection(self):
+        config = SimulationConfig(
+            disconnected_clients=3, disconnection_hours=2.0
+        )
+        assert config.disconnection_seconds == pytest.approx(2 * HOUR)
+
+
+class TestHelpers:
+    def test_horizon_seconds(self):
+        assert SimulationConfig(
+            horizon_hours=2.0
+        ).horizon_seconds == pytest.approx(7200.0)
+
+    def test_replaced_returns_validated_copy(self):
+        base = SimulationConfig()
+        changed = base.replaced(granularity="OC")
+        assert changed.granularity == "OC"
+        assert base.granularity == "HC"
+        with pytest.raises(ConfigurationError):
+            base.replaced(granularity="nope")
+
+    def test_label_mentions_key_dimensions(self):
+        label = SimulationConfig(
+            granularity="AC",
+            replacement="lru",
+            disconnected_clients=3,
+            disconnection_hours=5.0,
+        ).label()
+        assert "AC" in label
+        assert "lru" in label
+        assert "V=3" in label
+
+    def test_table_rows_cover_every_field(self):
+        config = SimulationConfig()
+        rows = dict(config.as_table_rows())
+        assert rows["granularity"] == "HC"
+        assert "wireless_bps" in rows
+
+
+class TestExtensionKnobs:
+    def test_page_granularity_accepted(self):
+        config = SimulationConfig(granularity="PC", objects_per_page=8)
+        assert config.objects_per_page == 8
+
+    def test_objects_per_page_validated(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(objects_per_page=0)
+
+    def test_coherence_mode_validated(self):
+        SimulationConfig(coherence="invalidation-report")
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(coherence="magic")
+
+    def test_ir_interval_validated(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(ir_interval_seconds=0.0)
+
+    def test_trailer_threshold_optional(self):
+        config = SimulationConfig(trailer_drop_queue_threshold=3)
+        assert config.trailer_drop_queue_threshold == 3
+        assert SimulationConfig().trailer_drop_queue_threshold is None

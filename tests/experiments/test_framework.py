@@ -1,0 +1,150 @@
+"""Unit tests for the experiment framework, drivers and reports."""
+
+import pytest
+
+from repro.experiments import report
+from repro.experiments.framework import (
+    ExperimentRow,
+    ExperimentTable,
+    FAST_HORIZON_HOURS,
+    FULL_HORIZON_HOURS,
+    default_horizon_hours,
+)
+from repro.experiments import (
+    exp1_granularity,
+    exp2_replacement_ro,
+    exp3_replacement_rw,
+    exp4_adaptivity,
+    exp5_coherence,
+    exp6_disconnect,
+)
+from repro.experiments.tables import render_table1, table1_rows
+
+
+def make_table():
+    rows = [
+        ExperimentRow({"g": "AC", "q": "AQ"}, 0.5, 1.0, 0.01, 100),
+        ExperimentRow({"g": "OC", "q": "AQ"}, 0.6, 2.0, 0.02, 100),
+        ExperimentRow({"g": "AC", "q": "NQ"}, 0.4, 3.0, 0.03, 100),
+    ]
+    return ExperimentTable("t", "test table", rows)
+
+
+class TestExperimentTable:
+    def test_filter(self):
+        table = make_table()
+        assert len(table.filter(q="AQ").rows) == 2
+        assert len(table.filter(g="AC", q="NQ").rows) == 1
+
+    def test_series(self):
+        table = make_table()
+        points = table.series("g", "hit_ratio", q="AQ")
+        assert points == [("AC", 0.5), ("OC", 0.6)]
+
+    def test_value_unique(self):
+        table = make_table()
+        assert table.value("response_time", g="OC", q="AQ") == 2.0
+        with pytest.raises(ValueError):
+            table.value("hit_ratio", g="AC")
+
+    def test_dimension_values_preserve_order(self):
+        assert make_table().dimension_values("g") == ["AC", "OC"]
+
+
+class TestDefaultHorizon:
+    def test_fast_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert default_horizon_hours() == FAST_HORIZON_HOURS
+
+    def test_full_with_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert default_horizon_hours() == FULL_HORIZON_HOURS
+
+
+class TestRunSpecs:
+    """The drivers must enumerate exactly the paper's sweeps."""
+
+    def test_exp1_covers_full_grid(self):
+        runs = exp1_granularity.build_runs(horizon_hours=1.0)
+        assert len(runs) == 4 * 2 * 2 * 2
+        labels = {tuple(sorted(d.items())) for d, __ in runs}
+        assert len(labels) == len(runs)
+
+    def test_exp2_policies_and_single_client(self):
+        runs = exp2_replacement_ro.build_runs(horizon_hours=1.0)
+        assert len(runs) == 6 * 2 * 2 * 2
+        for __, config in runs:
+            assert config.num_clients == 1
+            assert config.update_probability == 0.0
+            assert config.granularity == "HC"
+
+    def test_exp3_is_exp2_with_writes(self):
+        runs = exp3_replacement_rw.build_runs(horizon_hours=1.0)
+        for __, config in runs:
+            assert config.num_clients == 10
+            assert config.update_probability == 0.1
+
+    def test_exp4_change_rates(self):
+        runs = exp4_adaptivity.build_change_rate_runs(horizon_hours=1.0)
+        assert len(runs) == 4 * 3
+        rates = {config.csh_change_every for __, config in runs}
+        assert rates == {300, 500, 700}
+
+    def test_exp4_cyclic(self):
+        runs = exp4_adaptivity.build_cyclic_runs(horizon_hours=1.0)
+        assert len(runs) == 4
+        assert all(config.heat == "cyclic" for __, config in runs)
+
+    def test_exp5_grid(self):
+        runs = exp5_coherence.build_runs(horizon_hours=1.0)
+        assert len(runs) == 3 * 3 * 3
+        betas = {config.beta for __, config in runs}
+        assert betas == {-1.0, 0.0, 1.0}
+
+    def test_exp6_durations_scaled_to_short_horizon(self):
+        runs = exp6_disconnect.build_duration_runs(horizon_hours=8.0)
+        for dims, config in runs:
+            assert config.disconnection_hours <= 8.0
+            assert config.disconnected_clients == 5
+            # Labels keep the paper's D values.
+            assert dims["duration_hours"] in (1.0, 4.0, 7.0, 10.0)
+
+    def test_exp6_client_count_sweep(self):
+        runs = exp6_disconnect.build_client_count_runs(horizon_hours=8.0)
+        counts = {config.disconnected_clients for __, config in runs}
+        assert counts == {1, 3, 5, 7, 9}
+
+
+class TestReports:
+    def test_render_rows(self):
+        text = report.render_rows(make_table(), ["g", "q"])
+        assert "test table" in text
+        assert "AC" in text
+        assert "50.00%" in text
+
+    def test_render_matrix(self):
+        text = report.render_matrix(
+            make_table(), "g", "q", "hit_ratio"
+        )
+        assert "AC" in text and "OC" in text
+        assert "-" in text  # OC/NQ cell is missing
+
+    def test_summarize_best(self):
+        best = report.summarize_best(make_table(), "q", "hit_ratio")
+        assert dict((k, row.dims["g"]) for k, row in best) == {
+            "AQ": "OC",
+            "NQ": "AC",
+        }
+
+
+class TestTable1:
+    def test_rows_cover_six_experiments(self):
+        rows = table1_rows()
+        assert len(rows) == 6
+        assert rows[0]["experiment"].startswith("#1")
+
+    def test_render_mentions_key_values(self):
+        text = render_table1()
+        assert "ewma-0.5" in text
+        assert "NC, AC, OC, HC" in text
+        assert "0.1, 0.3, 0.5" in text

@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_quickstart():
+    result = run_example("quickstart.py", "0.5")
+    assert result.returncode == 0, result.stderr
+    assert "cache hit ratio" in result.stdout
+    assert "without storage caching" in result.stdout
+
+
+def test_atis_tourist():
+    result = run_example("atis_tourist.py")
+    assert result.returncode == 0, result.stderr
+    assert "Q1: hotels with vacancies" in result.stdout
+    assert "no wireless traffic at all" in result.stdout
+
+
+def test_replacement_shootout():
+    result = run_example("replacement_shootout.py", "0.3")
+    assert result.returncode == 0, result.stderr
+    for pattern in ("SH", "CSH", "cyclic"):
+        assert f"=== {pattern} ===" in result.stdout
+    assert "ewma-0.5" in result.stdout
+
+
+def test_disconnection_study():
+    result = run_example("disconnection_study.py", "1.0")
+    assert result.returncode == 0, result.stderr
+    assert "beta" in result.stdout
+
+
+@pytest.mark.parametrize("hours", ["0.5"])
+def test_coherence_comparison(hours):
+    result = run_example("coherence_comparison.py", hours)
+    assert result.returncode == 0, result.stderr
+    assert "invalidation-report" in result.stdout
+    assert "IR broadcast period sweep" in result.stdout
+
+
+def test_adaptation_timeline():
+    result = run_example("adaptation_timeline.py", "2.0")
+    assert result.returncode == 0, result.stderr
+    assert "ewma-0.5" in result.stdout
+    assert "|" in result.stdout  # sparklines rendered

@@ -1,0 +1,46 @@
+"""Golden-value regression pins.
+
+The simulation is fully deterministic for a given seed, so headline
+metrics of a fixed configuration are pinned *exactly*.  These pins catch
+unintended behavioural drift anywhere in the stack (kernel scheduling,
+random-stream usage, protocol sizes, policy decisions).
+
+If a change to the model is intentional, update the pins — the diff then
+documents the behavioural impact of the change.
+"""
+
+import pytest
+
+from repro import SimulationConfig, run_simulation
+
+
+def test_default_hc_configuration_pinned():
+    result = run_simulation(SimulationConfig(horizon_hours=2.0))
+    assert result.summary.total_queries == 736
+    assert result.hit_ratio == pytest.approx(
+        0.42774003623188406, abs=1e-12
+    )
+    assert result.response_time == pytest.approx(
+        1.9377924475364128, abs=1e-9
+    )
+    assert result.error_rate == pytest.approx(
+        0.033627717391304345, abs=1e-12
+    )
+
+
+def test_oc_lru_configuration_pinned():
+    result = run_simulation(
+        SimulationConfig(
+            granularity="OC", replacement="lru", horizon_hours=2.0
+        )
+    )
+    assert result.summary.total_queries == 736
+    assert result.hit_ratio == pytest.approx(
+        0.46324728260869563, abs=1e-12
+    )
+    assert result.response_time == pytest.approx(
+        8.239159990457395, abs=1e-9
+    )
+    assert result.error_rate == pytest.approx(
+        0.07601902173913043, abs=1e-12
+    )

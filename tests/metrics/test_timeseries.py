@@ -1,0 +1,86 @@
+"""Unit and property tests for bucketed ratio time series."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.timeseries import BucketedRatio
+
+
+class TestBucketedRatio:
+    def test_bucket_width_validation(self):
+        with pytest.raises(ValueError):
+            BucketedRatio(0.0)
+
+    def test_empty_series(self):
+        series = BucketedRatio(10.0)
+        assert series.series() == []
+        assert series.ratio_between(0, 100) == 0.0
+        assert series.sparkline() == ""
+
+    def test_bucketing(self):
+        series = BucketedRatio(10.0)
+        series.record(1.0, True)
+        series.record(5.0, False)
+        series.record(15.0, True)
+        assert series.series() == [(0.0, 0.5, 2), (10.0, 1.0, 1)]
+
+    def test_ratio_between(self):
+        series = BucketedRatio(10.0)
+        for t, success in ((1.0, True), (11.0, False), (21.0, True)):
+            series.record(t, success)
+        assert series.ratio_between(0.0, 20.0) == pytest.approx(0.5)
+        assert series.ratio_between(10.0, 30.0) == pytest.approx(0.5)
+        assert series.ratio_between(500.0, 600.0) == 0.0
+
+    def test_merge(self):
+        a = BucketedRatio(10.0)
+        b = BucketedRatio(10.0)
+        a.record(1.0, True)
+        b.record(2.0, False)
+        b.record(15.0, True)
+        a.merge(b)
+        assert a.series() == [(0.0, 0.5, 2), (10.0, 1.0, 1)]
+
+    def test_merge_width_mismatch(self):
+        with pytest.raises(ValueError):
+            BucketedRatio(10.0).merge(BucketedRatio(20.0))
+
+    def test_sparkline_length_and_range(self):
+        series = BucketedRatio(1.0)
+        for t in range(200):
+            series.record(float(t), t % 3 == 0)
+        line = series.sparkline(width=40)
+        assert len(line) == 40
+
+    def test_sparkline_shows_contrast(self):
+        series = BucketedRatio(1.0)
+        for t in range(10):
+            series.record(float(t), False)
+        for t in range(10, 20):
+            series.record(float(t), True)
+        line = series.sparkline(width=20)
+        assert line[0] != line[-1]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    samples=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            st.booleans(),
+        ),
+        max_size=200,
+    )
+)
+def test_series_conserves_counts(samples):
+    series = BucketedRatio(100.0)
+    for time, success in samples:
+        series.record(time, success)
+    points = series.series()
+    assert sum(count for __, __, count in points) == len(samples)
+    for __, ratio, __ in points:
+        assert 0.0 <= ratio <= 1.0
+    total_hits = sum(
+        round(ratio * count) for __, ratio, count in points
+    )
+    assert total_hits == sum(1 for __, success in samples if success)

@@ -1,0 +1,164 @@
+"""Unit tests for wire-message size accounting."""
+
+import math
+
+import pytest
+
+from repro.core.granularity import CachingGranularity
+from repro.net.message import (
+    ATTR_ID_BYTES,
+    HEADER_BYTES,
+    OID_BYTES,
+    QUERY_DESCRIPTOR_BYTES,
+    REFRESH_TIME_BYTES,
+    ReplyItem,
+    ReplyMessage,
+    RequestMessage,
+    UpdateValue,
+)
+from repro.oodb.objects import OID
+
+
+def oid(n):
+    return OID("Root", n)
+
+
+class TestRequestSize:
+    def test_minimal_request(self):
+        request = RequestMessage(
+            client_id=0,
+            query_id=1,
+            granularity=CachingGranularity.ATTRIBUTE,
+            needed={oid(1): ("a0",)},
+        )
+        assert request.size_bytes == (
+            HEADER_BYTES + QUERY_DESCRIPTOR_BYTES + OID_BYTES + ATTR_ID_BYTES
+        )
+
+    def test_object_request_has_no_attribute_ids(self):
+        request = RequestMessage(
+            client_id=0,
+            query_id=1,
+            granularity=CachingGranularity.OBJECT,
+            needed={oid(1): (), oid(2): ()},
+        )
+        assert request.size_bytes == (
+            HEADER_BYTES + QUERY_DESCRIPTOR_BYTES + 2 * OID_BYTES
+        )
+
+    def test_existent_entries_grouped_by_oid(self):
+        base = RequestMessage(
+            client_id=0,
+            query_id=1,
+            granularity=CachingGranularity.ATTRIBUTE,
+            needed={oid(1): ("a0",)},
+        )
+        with_existent = RequestMessage(
+            client_id=0,
+            query_id=1,
+            granularity=CachingGranularity.ATTRIBUTE,
+            needed={oid(1): ("a0",)},
+            existent=((oid(1), "a1"), (oid(1), "a2")),
+        )
+        # Same OID already on the wire: only two attribute ids added.
+        assert (
+            with_existent.size_bytes
+            == base.size_bytes + 2 * ATTR_ID_BYTES
+        )
+
+    def test_existent_entry_for_new_oid_pays_oid(self):
+        request = RequestMessage(
+            client_id=0,
+            query_id=1,
+            granularity=CachingGranularity.ATTRIBUTE,
+            needed={oid(1): ("a0",)},
+            existent=((oid(2), "a1"),),
+        )
+        expected = (
+            HEADER_BYTES
+            + QUERY_DESCRIPTOR_BYTES
+            + OID_BYTES + ATTR_ID_BYTES  # needed
+            + OID_BYTES + ATTR_ID_BYTES  # existent on a fresh oid
+        )
+        assert request.size_bytes == expected
+
+    def test_object_granularity_existent_has_no_attr_id(self):
+        request = RequestMessage(
+            client_id=0,
+            query_id=1,
+            granularity=CachingGranularity.OBJECT,
+            needed={oid(1): ()},
+            existent=((oid(2), None),),
+        )
+        assert request.size_bytes == (
+            HEADER_BYTES + QUERY_DESCRIPTOR_BYTES + 2 * OID_BYTES
+        )
+
+    def test_update_payload_counted(self):
+        request = RequestMessage(
+            client_id=0,
+            query_id=1,
+            granularity=CachingGranularity.ATTRIBUTE,
+            needed={oid(1): ("a0",)},
+            updates={oid(1): (UpdateValue("a0", 7, 80),)},
+        )
+        expected = (
+            HEADER_BYTES
+            + QUERY_DESCRIPTOR_BYTES
+            + OID_BYTES + ATTR_ID_BYTES
+            + ATTR_ID_BYTES + 80  # update rides the same oid
+        )
+        assert request.size_bytes == expected
+
+    def test_pure_update_detected(self):
+        request = RequestMessage(
+            client_id=0,
+            query_id=1,
+            granularity=CachingGranularity.ATTRIBUTE,
+            needed={},
+            updates={oid(1): (UpdateValue("a0", 7, 80),)},
+        )
+        assert request.is_pure_update
+
+
+class TestReplySize:
+    def test_attribute_items(self):
+        items = (
+            ReplyItem(oid(1), "a0", 5, 0, 100.0, 80),
+            ReplyItem(oid(1), "a1", 6, 0, 100.0, 80),
+        )
+        reply = ReplyMessage(client_id=0, query_id=1, items=items)
+        expected = HEADER_BYTES + OID_BYTES + 2 * (
+            ATTR_ID_BYTES + 80 + REFRESH_TIME_BYTES
+        )
+        assert reply.size_bytes == expected
+
+    def test_object_item(self):
+        item = ReplyItem(oid(1), None, {"a0": 5}, 0, math.inf, 960)
+        reply = ReplyMessage(client_id=0, query_id=1, items=(item,))
+        assert reply.size_bytes == (
+            HEADER_BYTES + OID_BYTES + 960 + REFRESH_TIME_BYTES
+        )
+
+    def test_distinct_oids_counted_once(self):
+        items = tuple(
+            ReplyItem(oid(n), "a0", 1, 0, 1.0, 80) for n in (1, 1, 2)
+        )
+        reply = ReplyMessage(client_id=0, query_id=1, items=items)
+        assert reply.size_bytes == HEADER_BYTES + 2 * OID_BYTES + 3 * (
+            ATTR_ID_BYTES + 80 + REFRESH_TIME_BYTES
+        )
+
+    def test_expiry_deadline_finite(self):
+        item = ReplyItem(oid(1), "a0", 5, 0, 100.0, 80)
+        reply = ReplyMessage(client_id=0, query_id=1, items=(item,))
+        assert reply.expiry_deadline(item, now=50.0) == 150.0
+
+    def test_expiry_deadline_infinite(self):
+        item = ReplyItem(oid(1), "a0", 5, 0, math.inf, 80)
+        reply = ReplyMessage(client_id=0, query_id=1, items=(item,))
+        assert math.isinf(reply.expiry_deadline(item, now=50.0))
+
+    def test_trailer_flag_defaults_false(self):
+        reply = ReplyMessage(client_id=0, query_id=1, items=())
+        assert not reply.is_trailer

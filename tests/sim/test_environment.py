@@ -1,0 +1,123 @@
+"""Unit tests for the environment run loop and determinism guarantees."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim import Environment
+
+
+def test_clock_starts_at_zero():
+    assert Environment().now == 0.0
+
+
+def test_clock_can_start_elsewhere():
+    assert Environment(initial_time=7.0).now == 7.0
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(ticker(env))
+    env.run(until=10.5)
+    assert env.now == 10.5
+
+
+def test_run_until_event_returns_its_value():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(4.0)
+        return "result"
+
+    proc = env.process(worker(env))
+    assert env.run(until=proc) == "result"
+    assert env.now == 4.0
+
+
+def test_run_until_failed_event_raises():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise ValueError("bad")
+
+    proc = env.process(bad(env))
+    with pytest.raises(ValueError, match="bad"):
+        env.run(until=proc)
+
+
+def test_run_until_past_time_is_error():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(SchedulingError):
+        env.run(until=5.0)
+
+
+def test_run_drains_queue_when_no_until():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(3.0)
+
+    env.process(worker(env))
+    env.run()
+    assert env.now == 3.0
+    assert env.peek() == float("inf")
+
+
+def test_step_on_empty_queue_is_error():
+    with pytest.raises(SimulationError):
+        Environment().step()
+
+
+def test_simultaneous_events_fire_in_creation_order():
+    env = Environment()
+    order = []
+
+    def worker(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        env.process(worker(env, tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_schedule_into_past_is_error():
+    env = Environment()
+    with pytest.raises(SchedulingError):
+        env.schedule(env.event(), delay=-0.1)
+
+
+def test_identical_runs_produce_identical_traces():
+    def build_and_run():
+        env = Environment()
+        trace = []
+
+        def worker(env, tag, delay):
+            while env.now < 20:
+                yield env.timeout(delay)
+                trace.append((env.now, tag))
+
+        env.process(worker(env, "x", 1.5))
+        env.process(worker(env, "y", 2.0))
+        env.run(until=20)
+        return trace
+
+    assert build_and_run() == build_and_run()
+
+
+def test_run_until_event_already_processed():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(1.0)
+        return 5
+
+    proc = env.process(worker(env))
+    env.run()
+    assert env.run(until=proc) == 5

@@ -1,0 +1,155 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim import Environment, Event
+
+
+def test_event_starts_pending():
+    env = Environment()
+    event = env.event()
+    assert not event.triggered
+    assert not event.processed
+
+
+def test_event_value_unavailable_before_trigger():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(SchedulingError):
+        __ = event.value
+    with pytest.raises(SchedulingError):
+        __ = event.ok
+
+
+def test_succeed_sets_value():
+    env = Environment()
+    event = env.event()
+    event.succeed(42)
+    assert event.triggered
+    assert event.ok
+    assert event.value == 42
+
+
+def test_succeed_twice_is_error():
+    env = Environment()
+    event = env.event()
+    event.succeed()
+    with pytest.raises(SchedulingError):
+        event.succeed()
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(TypeError):
+        event.fail("not an exception")
+
+
+def test_fail_propagates_into_waiting_process():
+    env = Environment()
+    event = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield event
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter(env))
+    event.fail(ValueError("boom"))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unwaited_failed_event_raises_at_step():
+    env = Environment()
+    event = env.event()
+    event.fail(RuntimeError("nobody listening"))
+    with pytest.raises(RuntimeError, match="nobody listening"):
+        env.run()
+
+
+def test_timeout_fires_at_expected_time():
+    env = Environment()
+    times = []
+
+    def waiter(env):
+        yield env.timeout(2.5)
+        times.append(env.now)
+
+    env.process(waiter(env))
+    env.run()
+    assert times == [2.5]
+
+
+def test_timeout_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SchedulingError):
+        env.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    env = Environment()
+    seen = []
+
+    def waiter(env):
+        value = yield env.timeout(1.0, value="payload")
+        seen.append(value)
+
+    env.process(waiter(env))
+    env.run()
+    assert seen == ["payload"]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    results = []
+
+    def waiter(env):
+        first = env.timeout(1.0, value="fast")
+        second = env.timeout(5.0, value="slow")
+        values = yield env.any_of([first, second])
+        results.append((env.now, list(values.values())))
+
+    env.process(waiter(env))
+    env.run()
+    assert results == [(1.0, ["fast"])]
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    results = []
+
+    def waiter(env):
+        first = env.timeout(1.0, value="a")
+        second = env.timeout(5.0, value="b")
+        values = yield env.all_of([first, second])
+        results.append((env.now, sorted(values.values())))
+
+    env.process(waiter(env))
+    env.run()
+    assert results == [(5.0, ["a", "b"])]
+
+
+def test_any_of_requires_events():
+    env = Environment()
+    with pytest.raises(SchedulingError):
+        env.any_of([])
+
+
+def test_all_of_with_already_processed_events():
+    env = Environment()
+    done = []
+
+    def waiter(env):
+        t1 = env.timeout(1.0, value=1)
+        yield t1  # t1 becomes processed
+        combo = env.all_of([t1, env.timeout(1.0, value=2)])
+        values = yield combo
+        done.append(sorted(values.values()))
+
+    env.process(waiter(env))
+    env.run()
+    assert done == [[1, 2]]

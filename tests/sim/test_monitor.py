@@ -1,0 +1,142 @@
+"""Unit and property tests for statistics collectors."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import RatioCounter, Tally, TimeWeighted, summarize
+
+
+def test_empty_tally_reports_zeros():
+    tally = Tally()
+    assert tally.count == 0
+    assert tally.mean == 0.0
+    assert tally.std == 0.0
+    assert tally.minimum == 0.0
+    assert tally.maximum == 0.0
+
+
+def test_tally_basic_statistics():
+    tally = summarize([1.0, 2.0, 3.0, 4.0])
+    assert tally.count == 4
+    assert tally.mean == pytest.approx(2.5)
+    assert tally.variance == pytest.approx(statistics.variance([1, 2, 3, 4]))
+    assert tally.minimum == 1.0
+    assert tally.maximum == 4.0
+    assert tally.total == pytest.approx(10.0)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=2, max_size=200))
+def test_tally_matches_statistics_module(values):
+    tally = summarize(values)
+    assert tally.mean == pytest.approx(statistics.fmean(values), abs=1e-6)
+    assert tally.variance == pytest.approx(
+        statistics.variance(values), rel=1e-6, abs=1e-6
+    )
+
+
+@given(
+    st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+             min_size=1, max_size=50),
+    st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+             min_size=1, max_size=50),
+)
+def test_tally_merge_equals_combined(first, second):
+    merged = summarize(first)
+    merged.merge(summarize(second))
+    combined = summarize(first + second)
+    assert merged.count == combined.count
+    assert merged.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-6)
+    assert merged.variance == pytest.approx(
+        combined.variance, rel=1e-6, abs=1e-4
+    )
+    assert merged.minimum == combined.minimum
+    assert merged.maximum == combined.maximum
+
+
+def test_merge_with_empty_sides():
+    tally = summarize([1.0, 2.0])
+    tally.merge(Tally())
+    assert tally.count == 2
+    empty = Tally()
+    empty.merge(summarize([5.0]))
+    assert empty.count == 1
+    assert empty.mean == 5.0
+
+
+def test_confidence_interval_contains_mean():
+    tally = summarize([10.0, 12.0, 9.0, 11.0, 10.5])
+    low, high = tally.confidence_interval(0.95)
+    assert low <= tally.mean <= high
+    assert high - low > 0
+
+
+def test_confidence_interval_level_validation():
+    with pytest.raises(ValueError):
+        summarize([1.0, 2.0]).confidence_interval(0.5)
+
+
+def test_confidence_interval_degenerate():
+    tally = summarize([4.0])
+    assert tally.confidence_interval() == (4.0, 4.0)
+
+
+def test_time_weighted_average():
+    monitor = TimeWeighted(now=0.0, value=0.0)
+    monitor.update(2.0, 10.0)  # signal 0 for [0,2)
+    monitor.update(6.0, 0.0)  # signal 10 for [2,6)
+    assert monitor.time_average(10.0) == pytest.approx(4.0)
+    assert monitor.maximum == 10.0
+    assert monitor.current == 0.0
+
+
+def test_time_weighted_rejects_backwards_time():
+    monitor = TimeWeighted(now=5.0)
+    with pytest.raises(ValueError):
+        monitor.update(4.0, 1.0)
+
+
+def test_time_weighted_zero_elapsed():
+    monitor = TimeWeighted(now=3.0, value=7.0)
+    assert monitor.time_average(3.0) == 7.0
+
+
+def test_ratio_counter():
+    counter = RatioCounter()
+    assert counter.ratio == 0.0
+    for outcome in (True, True, False, True):
+        counter.record(outcome)
+    assert counter.ratio == pytest.approx(0.75)
+    assert counter.hits == 3
+    assert counter.total == 4
+
+
+def test_ratio_counter_merge():
+    a = RatioCounter()
+    a.record(True)
+    b = RatioCounter()
+    b.record(False)
+    b.record(True)
+    a.merge(b)
+    assert a.hits == 2
+    assert a.total == 3
+
+
+@given(st.lists(st.booleans(), max_size=100))
+def test_ratio_counter_bounds(outcomes):
+    counter = RatioCounter()
+    for outcome in outcomes:
+        counter.record(outcome)
+    assert 0.0 <= counter.ratio <= 1.0
+    assert counter.hits <= counter.total
+
+
+def test_tally_handles_large_streams_stably():
+    tally = Tally()
+    for i in range(100_000):
+        tally.record(1e9 + (i % 7))
+    assert tally.mean == pytest.approx(1e9 + 3.0, abs=0.01)
+    assert not math.isnan(tally.std)

@@ -1,0 +1,205 @@
+"""Unit tests for process semantics: start, return values, interrupts."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim import Environment, Interrupt
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_process_return_value_becomes_event_value():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(1.0)
+        return "done"
+
+    proc = env.process(worker(env))
+    env.run()
+    assert proc.value == "done"
+
+
+def test_process_waits_on_child_process():
+    env = Environment()
+    log = []
+
+    def child(env):
+        yield env.timeout(2.0)
+        return 99
+
+    def parent(env):
+        result = yield env.process(child(env))
+        log.append((env.now, result))
+
+    env.process(parent(env))
+    env.run()
+    assert log == [(2.0, 99)]
+
+
+def test_process_starts_at_current_time_not_immediately():
+    env = Environment()
+    log = []
+
+    def worker(env):
+        log.append(env.now)
+        yield env.timeout(0)
+
+    env.process(worker(env))
+    assert log == []  # not started until the run loop spins
+    env.run()
+    assert log == [0.0]
+
+
+def test_uncaught_exception_fails_the_process_event():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise KeyError("oops")
+
+    def parent(env):
+        with pytest.raises(KeyError):
+            yield env.process(bad(env))
+
+    env.process(parent(env))
+    env.run()
+
+
+def test_unwatched_process_failure_surfaces():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("unwatched")
+
+    env.process(bad(env))
+    with pytest.raises(RuntimeError, match="unwatched"):
+        env.run()
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    causes = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            causes.append((env.now, interrupt.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(3.0)
+        victim.interrupt("wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert causes == [(3.0, "wake up")]
+
+
+def test_interrupt_dead_process_is_error():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    def late(env, victim):
+        yield env.timeout(5.0)
+        with pytest.raises(SchedulingError):
+            victim.interrupt()
+
+    victim = env.process(quick(env))
+    env.process(late(env, victim))
+    env.run()
+
+
+def test_self_interrupt_is_error():
+    env = Environment()
+
+    def selfish(env):
+        proc = env.active_process
+        with pytest.raises(SchedulingError):
+            proc.interrupt()
+        yield env.timeout(0)
+
+    env.process(selfish(env))
+    env.run()
+
+
+def test_interrupted_process_can_continue_waiting():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        yield env.timeout(2.0)
+        log.append(("woke", env.now))
+
+    def interrupter(env, victim):
+        yield env.timeout(1.0)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [("interrupted", 1.0), ("woke", 3.0)]
+
+
+def test_stale_target_does_not_resume_after_interrupt():
+    """The interrupted wait's original event must not re-resume the process."""
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(5.0)
+            log.append("timeout won")
+        except Interrupt:
+            log.append("interrupted")
+        yield env.timeout(100.0)
+        log.append("second wait done")
+
+    def interrupter(env, victim):
+        yield env.timeout(1.0)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    # The 5s timeout still fires at t=5 but must not resume the process.
+    assert log == ["interrupted", "second wait done"]
+
+
+def test_yield_non_event_is_error():
+    env = Environment()
+
+    def bad(env):
+        yield 42  # type: ignore[misc]
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError, match="not an Event"):
+        env.run()
+
+
+def test_process_yielding_already_processed_event_resumes_same_time():
+    env = Environment()
+    log = []
+
+    def worker(env):
+        timeout = env.timeout(1.0, value="v")
+        yield timeout
+        # Yield it again after it has been processed.
+        value = yield timeout
+        log.append((env.now, value))
+
+    env.process(worker(env))
+    env.run()
+    assert log == [(1.0, "v")]

@@ -1,0 +1,117 @@
+"""Unit and property tests for seeded random streams."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import RandomStream, cumulative
+
+
+def test_same_seed_same_sequence():
+    a = RandomStream(seed=7)
+    b = RandomStream(seed=7)
+    assert [a.random() for __ in range(20)] == [b.random() for __ in range(20)]
+
+
+def test_different_labels_diverge():
+    root = RandomStream(seed=7)
+    x = root.fork("x")
+    y = root.fork("y")
+    assert [x.random() for __ in range(5)] != [y.random() for __ in range(5)]
+
+
+def test_fork_is_deterministic():
+    a = RandomStream(seed=3).fork("arrivals")
+    b = RandomStream(seed=3).fork("arrivals")
+    assert [a.random() for __ in range(10)] == [b.random() for __ in range(10)]
+
+
+def test_fork_does_not_perturb_parent():
+    a = RandomStream(seed=3)
+    before = RandomStream(seed=3)
+    a.fork("whatever")
+    assert [a.random() for __ in range(5)] == [
+        before.random() for __ in range(5)
+    ]
+
+
+def test_exponential_mean_is_roughly_right():
+    stream = RandomStream(seed=11)
+    n = 20_000
+    total = sum(stream.exponential(100.0) for __ in range(n))
+    assert total / n == pytest.approx(100.0, rel=0.05)
+
+
+def test_exponential_rejects_nonpositive_mean():
+    with pytest.raises(ValueError):
+        RandomStream(seed=1).exponential(0.0)
+
+
+def test_bernoulli_bounds():
+    stream = RandomStream(seed=1)
+    with pytest.raises(ValueError):
+        stream.bernoulli(1.5)
+    with pytest.raises(ValueError):
+        stream.bernoulli(-0.1)
+
+
+def test_bernoulli_extremes():
+    stream = RandomStream(seed=1)
+    assert not any(stream.bernoulli(0.0) for __ in range(100))
+    assert all(stream.bernoulli(1.0) for __ in range(100))
+
+
+def test_cumulative_prefix_sums():
+    assert cumulative([1, 2, 3]) == [1, 3, 6]
+
+
+def test_cumulative_rejects_negative_and_empty():
+    with pytest.raises(ValueError):
+        cumulative([1, -1])
+    with pytest.raises(ValueError):
+        cumulative([])
+    with pytest.raises(ValueError):
+        cumulative([0.0, 0.0])
+
+
+def test_weighted_index_respects_weights():
+    stream = RandomStream(seed=5)
+    weights = cumulative([0.8, 0.2])
+    draws = [stream.weighted_index(weights) for __ in range(10_000)]
+    share = draws.count(0) / len(draws)
+    assert share == pytest.approx(0.8, abs=0.03)
+
+
+def test_weighted_index_empty_is_error():
+    with pytest.raises(ValueError):
+        RandomStream(seed=1).weighted_index([])
+
+
+def test_weighted_index_single_bucket():
+    stream = RandomStream(seed=1)
+    weights = cumulative([4.2])
+    assert all(stream.weighted_index(weights) == 0 for __ in range(50))
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1,
+                max_size=20), st.integers(min_value=0, max_value=2**31))
+def test_weighted_index_always_in_range(weights, seed):
+    stream = RandomStream(seed=seed)
+    cum = cumulative(weights)
+    index = stream.weighted_index(cum)
+    assert 0 <= index < len(weights)
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+def test_uniform_stays_in_bounds(seed):
+    stream = RandomStream(seed=seed)
+    for __ in range(100):
+        value = stream.uniform(2.0, 5.0)
+        assert 2.0 <= value < 5.0 or math.isclose(value, 5.0)
+
+
+def test_sample_returns_distinct_items():
+    stream = RandomStream(seed=9)
+    picked = stream.sample(range(100), 10)
+    assert len(set(picked)) == 10

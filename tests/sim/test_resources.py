@@ -1,0 +1,219 @@
+"""Unit tests for FCFS resources and stores."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Resource, Store
+
+
+def test_capacity_must_be_positive():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_single_server_serializes_holders():
+    env = Environment()
+    resource = Resource(env)
+    log = []
+
+    def worker(env, tag, hold):
+        with resource.request() as req:
+            yield req
+            log.append(("start", tag, env.now))
+            yield env.timeout(hold)
+            log.append(("end", tag, env.now))
+
+    env.process(worker(env, "a", 2.0))
+    env.process(worker(env, "b", 3.0))
+    env.run()
+    assert log == [
+        ("start", "a", 0.0),
+        ("end", "a", 2.0),
+        ("start", "b", 2.0),
+        ("end", "b", 5.0),
+    ]
+
+
+def test_fcfs_order_is_arrival_order():
+    env = Environment()
+    resource = Resource(env)
+    served = []
+
+    def worker(env, tag, arrive):
+        yield env.timeout(arrive)
+        with resource.request() as req:
+            yield req
+            served.append(tag)
+            yield env.timeout(10.0)
+
+    env.process(worker(env, "first", 1.0))
+    env.process(worker(env, "second", 2.0))
+    env.process(worker(env, "third", 3.0))
+    env.run()
+    assert served == ["first", "second", "third"]
+
+
+def test_multi_capacity_admits_that_many():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    concurrency = []
+
+    def worker(env):
+        with resource.request() as req:
+            yield req
+            concurrency.append(resource.user_count)
+            yield env.timeout(1.0)
+
+    for __ in range(4):
+        env.process(worker(env))
+    env.run()
+    assert max(concurrency) == 2
+
+
+def test_release_of_queued_request_cancels_it():
+    env = Environment()
+    resource = Resource(env)
+    served = []
+
+    def holder(env):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(5.0)
+
+    def impatient(env):
+        request = resource.request()
+        yield env.timeout(1.0)  # give up before being served
+        resource.release(request)
+        served.append("impatient gave up")
+
+    def patient(env):
+        yield env.timeout(0.5)
+        with resource.request() as req:
+            yield req
+            served.append(("patient", env.now))
+
+    env.process(holder(env))
+    env.process(impatient(env))
+    env.process(patient(env))
+    env.run()
+    assert ("patient", 5.0) in served
+
+
+def test_double_release_is_harmless():
+    env = Environment()
+    resource = Resource(env)
+
+    def worker(env):
+        request = resource.request()
+        yield request
+        resource.release(request)
+        resource.release(request)
+
+    env.process(worker(env))
+    env.run()
+    assert resource.user_count == 0
+
+
+def test_utilization_accounting():
+    env = Environment()
+    resource = Resource(env)
+
+    def worker(env):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(4.0)
+
+    env.process(worker(env))
+    env.run(until=8.0)
+    assert resource.utilization() == pytest.approx(0.5)
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    store.put("msg")
+    env.process(consumer(env))
+    env.run()
+    assert got == [(0.0, "msg")]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(3.0)
+        store.put("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [(3.0, "late")]
+
+
+def test_store_fifo_across_getters():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env, tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    env.process(consumer(env, "c1"))
+    env.process(consumer(env, "c2"))
+
+    def producer(env):
+        yield env.timeout(1.0)
+        store.put("first")
+        store.put("second")
+
+    env.process(producer(env))
+    env.run()
+    assert got == [("c1", "first"), ("c2", "second")]
+
+
+def test_store_len_counts_buffered_items():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+
+
+def test_store_cancel_removes_pending_getter():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def fickle(env):
+        event = store.get()
+        yield env.timeout(1.0)
+        store.cancel(event)
+
+    def steady(env):
+        yield env.timeout(0.5)
+        item = yield store.get()
+        got.append(item)
+
+    def producer(env):
+        yield env.timeout(2.0)
+        store.put("only")
+
+    env.process(fickle(env))
+    env.process(steady(env))
+    env.process(producer(env))
+    env.run()
+    assert got == ["only"]

@@ -1,0 +1,117 @@
+"""Unit tests for arrival processes, including the bursty day profile."""
+
+import pytest
+
+from repro._units import DAY, HOUR
+from repro.errors import ConfigurationError
+from repro.sim.rand import RandomStream
+from repro.workload.arrivals import (
+    BurstyArrival,
+    PAPER_DAY_PROFILE,
+    PoissonArrival,
+    RatePeriod,
+)
+
+
+class TestPoissonArrival:
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrival(RandomStream(1, "a"), rate=0.0)
+
+    def test_mean_interarrival(self):
+        process = PoissonArrival(RandomStream(3, "a"), rate=0.01)
+        n = 20_000
+        total = sum(process.next_interarrival(0.0) for __ in range(n))
+        assert total / n == pytest.approx(100.0, rel=0.05)
+
+    def test_describe(self):
+        process = PoissonArrival(RandomStream(1, "a"), rate=0.01)
+        assert "0.01" in process.describe()
+
+
+class TestRatePeriod:
+    def test_bounds_validation(self):
+        with pytest.raises(ConfigurationError):
+            RatePeriod(5.0, 5.0, 0.01)
+        with pytest.raises(ConfigurationError):
+            RatePeriod(-1.0, 5.0, 0.01)
+        with pytest.raises(ConfigurationError):
+            RatePeriod(0.0, 25.0, 0.01)
+        with pytest.raises(ConfigurationError):
+            RatePeriod(0.0, 5.0, 0.0)
+
+
+class TestBurstyArrival:
+    def test_paper_profile_daily_mean_is_001(self):
+        """The paper's rates integrate to the Poisson rate of 0.01/s."""
+        process = BurstyArrival(RandomStream(1, "a"))
+        assert process.daily_mean_rate() == pytest.approx(0.01)
+
+    def test_profile_must_cover_day(self):
+        with pytest.raises(ConfigurationError):
+            BurstyArrival(
+                RandomStream(1, "a"),
+                profile=[RatePeriod(0.0, 12.0, 0.01)],
+            )
+
+    def test_profile_rejects_gaps(self):
+        with pytest.raises(ConfigurationError):
+            BurstyArrival(
+                RandomStream(1, "a"),
+                profile=[
+                    RatePeriod(0.0, 10.0, 0.01),
+                    RatePeriod(11.0, 24.0, 0.01),
+                ],
+            )
+
+    def test_rate_lookup_by_time_of_day(self):
+        process = BurstyArrival(RandomStream(1, "a"))
+        assert process.rate_at(8 * HOUR) == pytest.approx(0.037)
+        assert process.rate_at(12 * HOUR) == pytest.approx(0.005)
+        assert process.rate_at(17 * HOUR) == pytest.approx(0.027)
+        assert process.rate_at(2 * HOUR) == pytest.approx(0.0015)
+        # Second day wraps.
+        assert process.rate_at(DAY + 8 * HOUR) == pytest.approx(0.037)
+
+    def test_burst_hours_produce_more_arrivals(self):
+        process = BurstyArrival(RandomStream(9, "a"))
+
+        def count_in_window(start, duration):
+            clock = start
+            count = 0
+            while True:
+                clock += process.next_interarrival(clock)
+                if clock >= start + duration:
+                    return count
+                count += 1
+
+        burst = count_in_window(7 * HOUR, 2 * HOUR)
+        night = count_in_window(1 * HOUR, 2 * HOUR)
+        assert burst > 4 * night
+
+    def test_interarrival_positive_and_consistent(self):
+        process = BurstyArrival(RandomStream(4, "a"))
+        clock = 0.0
+        for __ in range(2000):
+            gap = process.next_interarrival(clock)
+            assert gap > 0
+            clock += gap
+        # Roughly four simulated days for ~3456 expected arrivals.
+        assert clock == pytest.approx(2000 / 0.01, rel=0.25)
+
+    def test_eighty_percent_of_load_in_bursts(self):
+        """The paper: 80% of a day's queries fall in the two bursts."""
+        process = BurstyArrival(RandomStream(11, "a"))
+        clock = 0.0
+        in_burst = 0
+        total = 0
+        while clock < 10 * DAY:
+            clock += process.next_interarrival(clock)
+            hour = (clock % DAY) / HOUR
+            total += 1
+            if 7 <= hour < 10 or 16 <= hour < 19:
+                in_burst += 1
+        assert in_burst / total == pytest.approx(0.8, abs=0.04)
+
+    def test_paper_profile_constant(self):
+        assert len(PAPER_DAY_PROFILE) == 5

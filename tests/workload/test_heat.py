@@ -1,0 +1,146 @@
+"""Unit tests for heat distributions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.oodb.objects import OID
+from repro.sim.rand import RandomStream
+from repro.workload.heat import (
+    ChangingSkewedHeat,
+    CyclicHeat,
+    SkewedHeat,
+    UniformHeat,
+)
+
+
+def oids(n=100):
+    return [OID("Root", i) for i in range(n)]
+
+
+class TestUniformHeat:
+    def test_selects_distinct(self):
+        heat = UniformHeat(oids(), RandomStream(1, "h"))
+        picks = heat.select_objects(0, 10)
+        assert len(set(picks)) == 10
+
+    def test_rejects_overselection(self):
+        heat = UniformHeat(oids(5), RandomStream(1, "h"))
+        with pytest.raises(ConfigurationError):
+            heat.select_objects(0, 6)
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ConfigurationError):
+            UniformHeat([], RandomStream(1, "h"))
+
+
+class TestSkewedHeat:
+    def test_hot_set_size(self):
+        heat = SkewedHeat(oids(100), RandomStream(1, "h"), hot_fraction=0.2)
+        assert len(heat.hot_set) == 20
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            SkewedHeat(oids(), RandomStream(1, "h"), hot_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            SkewedHeat(
+                oids(), RandomStream(1, "h"), hot_access_probability=1.5
+            )
+
+    def test_80_20_rule_holds_statistically(self):
+        heat = SkewedHeat(oids(200), RandomStream(7, "h"))
+        hot = heat.hot_set
+        hot_picks = 0
+        total = 0
+        for q in range(500):
+            for oid in heat.select_objects(q, 10):
+                total += 1
+                hot_picks += oid in hot
+        assert hot_picks / total == pytest.approx(0.8, abs=0.05)
+
+    def test_distinct_within_query(self):
+        heat = SkewedHeat(oids(50), RandomStream(3, "h"))
+        picks = heat.select_objects(0, 20)
+        assert len(set(picks)) == 20
+
+    def test_different_seeds_different_hot_sets(self):
+        a = SkewedHeat(oids(200), RandomStream(1, "a"))
+        b = SkewedHeat(oids(200), RandomStream(1, "b"))
+        assert a.hot_set != b.hot_set
+
+    def test_degenerate_skew_completes(self):
+        """Extreme configs fall back to deterministic fill, not a hang."""
+        heat = SkewedHeat(
+            oids(30),
+            RandomStream(1, "h"),
+            hot_fraction=0.05,  # one hot object
+            hot_access_probability=1.0,
+        )
+        picks = heat.select_objects(0, 10)
+        assert len(set(picks)) == 10
+
+
+class TestChangingSkewedHeat:
+    def test_hot_set_changes_at_interval(self):
+        heat = ChangingSkewedHeat(
+            oids(200), RandomStream(5, "h"), change_every=10
+        )
+        before = heat.hot_set
+        for q in range(10):
+            heat.select_objects(q, 5)
+        heat.select_objects(10, 5)  # crosses the era boundary
+        assert heat.hot_set != before
+
+    def test_hot_set_stable_within_era(self):
+        heat = ChangingSkewedHeat(
+            oids(200), RandomStream(5, "h"), change_every=100
+        )
+        before = heat.hot_set
+        for q in range(50):
+            heat.select_objects(q, 5)
+        assert heat.hot_set == before
+
+    def test_change_interval_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChangingSkewedHeat(oids(), RandomStream(1, "h"), change_every=0)
+
+    def test_describe_includes_rate(self):
+        heat = ChangingSkewedHeat(
+            oids(), RandomStream(1, "h"), change_every=300
+        )
+        assert heat.describe() == "CSH-300"
+
+
+class TestCyclicHeat:
+    def test_scan_covers_database_in_order(self):
+        population = oids(40)
+        heat = CyclicHeat(
+            population, RandomStream(1, "h"), scan_fraction=1.0
+        )
+        first = heat.select_objects(0, 10)
+        second = heat.select_objects(1, 10)
+        assert first == sorted(population)[:10]
+        assert second == sorted(population)[10:20]
+
+    def test_scan_wraps_around(self):
+        population = oids(20)
+        heat = CyclicHeat(
+            population, RandomStream(1, "h"), scan_fraction=1.0
+        )
+        heat.select_objects(0, 15)
+        wrapped = heat.select_objects(1, 15)
+        # Cursor wrapped: the second query re-references early objects.
+        assert sorted(population)[0] in wrapped
+
+    def test_mixes_hot_and_scan(self):
+        heat = CyclicHeat(
+            oids(100), RandomStream(2, "h"),
+            hot_fraction=0.2, scan_fraction=0.5,
+        )
+        picks = heat.select_objects(0, 10)
+        assert len(set(picks)) == 10
+        hot_picks = sum(1 for oid in picks if oid in heat.hot_set)
+        assert hot_picks >= 3  # roughly half, minus scan/hot collisions
+
+    def test_scan_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            CyclicHeat(oids(), RandomStream(1, "h"), scan_fraction=1.5)

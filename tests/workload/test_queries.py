@@ -1,0 +1,175 @@
+"""Unit tests for the query generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.oodb.database import build_default_database
+from repro.oodb.query import QueryKind
+from repro.sim.rand import RandomStream
+from repro.workload.heat import UniformHeat
+from repro.workload.queries import QueryWorkload, skewed_weights
+
+
+@pytest.fixture(scope="module")
+def database():
+    return build_default_database(100)
+
+
+def make_workload(database, **kwargs):
+    rng = RandomStream(kwargs.pop("seed", 1), "w")
+    heat = UniformHeat(database.oids("Root"), rng.fork("heat"))
+    defaults = dict(
+        client_id=0,
+        database=database,
+        heat=heat,
+        rng=rng.fork("queries"),
+        selectivity=5,
+        attrs_per_object=3,
+    )
+    defaults.update(kwargs)
+    return QueryWorkload(**defaults)
+
+
+class TestSkewedWeights:
+    def test_geometric_shape(self):
+        weights = skewed_weights(4, skew=0.5)
+        assert weights == [1.0, 0.5, 0.25, 0.125]
+
+    def test_all_positive(self):
+        assert all(w > 0 for w in skewed_weights(12, 0.8))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            skewed_weights(0)
+        with pytest.raises(ConfigurationError):
+            skewed_weights(3, skew=0.0)
+        with pytest.raises(ConfigurationError):
+            skewed_weights(3, skew=1.5)
+
+
+class TestAssociativeQueries:
+    def test_touches_selectivity_objects(self, database):
+        workload = make_workload(database)
+        query = workload.next_query(1)
+        assert len(query.oids()) == 5
+        assert query.kind is QueryKind.ASSOCIATIVE
+
+    def test_attrs_per_object(self, database):
+        workload = make_workload(database)
+        query = workload.next_query(1)
+        for oid in query.oids():
+            attrs = query.attributes_of(oid)
+            assert len(attrs) == 3
+            assert len(set(attrs)) == 3
+            assert all(a.startswith("a") for a in attrs)
+
+    def test_no_updates_by_default(self, database):
+        workload = make_workload(database)
+        query = workload.next_query(1)
+        assert not query.has_updates
+
+    def test_validation(self, database):
+        with pytest.raises(ConfigurationError):
+            make_workload(database, selectivity=0)
+        with pytest.raises(ConfigurationError):
+            make_workload(database, update_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            make_workload(database, attrs_per_object=10)
+
+
+class TestNavigationalQueries:
+    def test_traverses_relationships(self, database):
+        workload = make_workload(
+            database, kind=QueryKind.NAVIGATIONAL, selectivity=5
+        )
+        query = workload.next_query(1)
+        # Each selected object touches 3 primitives + 1 relationship,
+        # each navigation target touches 3 primitives.
+        relationship_accesses = [
+            a for a in query.accesses if a.attribute.startswith("r")
+        ]
+        assert len(relationship_accesses) == 5
+        assert len(query.accesses) == 5 * (3 + 1) + 5 * 3
+
+    def test_navigation_targets_match_database_state(self, database):
+        workload = make_workload(database, kind=QueryKind.NAVIGATIONAL)
+        query = workload.next_query(1)
+        for access in query.accesses:
+            if access.attribute.startswith("r"):
+                target = database.get(access.oid).related_oid(
+                    access.attribute
+                )
+                assert target in database
+
+    def test_roughly_doubles_selectivity(self, database):
+        aq = make_workload(database, seed=3).next_query(1)
+        nq = make_workload(
+            database, seed=3, kind=QueryKind.NAVIGATIONAL
+        ).next_query(1)
+        assert len(nq.oids()) > len(aq.oids())
+
+
+class TestUpdates:
+    def test_update_probability_one_marks_everything(self, database):
+        workload = make_workload(database, update_probability=1.0)
+        query = workload.next_query(1)
+        assert all(a.is_update for a in query.accesses)
+        assert set(query.updates()) == set(query.oids())
+
+    def test_update_marks_whole_object(self, database):
+        """All touched attributes of an updated object are modified."""
+        workload = make_workload(database, update_probability=0.5, seed=9)
+        query = workload.next_query(1)
+        for oid, attrs in query.updates().items():
+            assert sorted(attrs) == sorted(query.attributes_of(oid))
+
+    def test_update_rate_statistical(self, database):
+        workload = make_workload(database, update_probability=0.3, seed=5)
+        updated = 0
+        total = 0
+        for q in range(200):
+            query = workload.next_query(q)
+            updates = query.updates()
+            total += len(query.oids())
+            updated += len(updates)
+        assert updated / total == pytest.approx(0.3, abs=0.05)
+
+    def test_new_value_for_relationship_stays_valid(self, database):
+        workload = make_workload(database)
+        oid = database.oids("Root")[0]
+        for __ in range(100):
+            value = workload.new_value_for(oid, "r0")
+            assert 0 <= value < 100
+            assert value != oid.number
+
+    def test_new_value_for_primitive(self, database):
+        workload = make_workload(database)
+        oid = database.oids("Root")[0]
+        value = workload.new_value_for(oid, "a0")
+        assert isinstance(value, int)
+
+
+class TestAttributeSkew:
+    def test_per_client_rankings_differ(self, database):
+        counts = {}
+        for client in (0, 1):
+            workload = make_workload(database, client_id=client, seed=client)
+            tally: dict[str, int] = {}
+            for q in range(100):
+                for access in workload.next_query(q).accesses:
+                    tally[access.attribute] = (
+                        tally.get(access.attribute, 0) + 1
+                    )
+            counts[client] = max(tally, key=tally.get)
+        # Seeded shuffles make the hottest attribute client-specific
+        # (different seeds here guarantee different rankings).
+        assert counts[0] != counts[1]
+
+    def test_popular_attribute_dominates(self, database):
+        workload = make_workload(database, attribute_skew=0.5)
+        tally: dict[str, int] = {}
+        for q in range(300):
+            for access in workload.next_query(q).accesses:
+                tally[access.attribute] = tally.get(access.attribute, 0) + 1
+        shares = sorted(tally.values(), reverse=True)
+        assert shares[0] > 2 * shares[-1]
