@@ -1,24 +1,32 @@
 #!/usr/bin/env python3
 """Regenerate every table and figure of the paper in one sweep.
 
-Writes ``results/reproduction.json`` (one record per run) and
-``results/reproduction.txt`` (rendered figure tables).  Horizons are
-configurable; the defaults trade simulated time for wall-clock so the
-whole sweep finishes in under an hour on one core.  ``--full`` runs
-everything at the paper's 96 simulated hours (several CPU-hours).
+Writes ``results/reproduction.json`` (sweep metadata plus one record
+per run, including per-run wall-clock) and ``results/reproduction.txt``
+(rendered figure tables).  Horizons are configurable; the defaults trade
+simulated time for wall-clock so the whole sweep finishes in under an
+hour on one core.  ``--full`` runs everything at the paper's 96
+simulated hours (several CPU-hours serially).
+
+Runs are embarrassingly parallel: ``--jobs N`` fans each experiment's
+run list over N worker processes (default: all cores) with results
+bit-identical to a serial sweep — every run derives all of its random
+streams from its own config, so worker count and completion order
+cannot perturb a single draw.
 
 Usage::
 
     python scripts/reproduce_paper.py            # reduced horizons
     python scripts/reproduce_paper.py --full     # paper-scale
     python scripts/reproduce_paper.py --only 1 4 # selected experiments
+    python scripts/reproduce_paper.py --jobs 1   # force serial
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -36,6 +44,7 @@ from repro.experiments import (  # noqa: E402
     report,
 )
 from repro.experiments.framework import ExperimentTable, execute  # noqa: E402
+from repro.experiments.parallel import resolve_jobs  # noqa: E402
 from repro.experiments.tables import render_table1  # noqa: E402
 
 #: Reduced horizons per experiment (hours).  Experiment #4's change-rate
@@ -53,7 +62,7 @@ REDUCED_HORIZONS = {
 FULL_HORIZON = 96.0
 
 
-def run_experiment(name, horizon, seed, progress=True):
+def run_experiment(name, horizon, seed, progress=True, jobs=None):
     builders = {
         "exp1": (exp1_granularity.build_runs, "exp1",
                  exp1_granularity.TITLE),
@@ -74,7 +83,8 @@ def run_experiment(name, horizon, seed, progress=True):
         runs += exp6_disconnect.build_client_count_runs(horizon, seed)
     else:
         runs = build(horizon, seed)
-    return execute(experiment_id, title, runs, progress=progress)
+    return execute(experiment_id, title, runs, progress=progress,
+                   jobs=jobs)
 
 
 RENDER_DIMS = {
@@ -100,12 +110,20 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true",
                         help="run at the paper's 96 h horizon")
+    parser.add_argument("--horizon", type=float, default=None,
+                        help="override every experiment's horizon "
+                             "(simulated hours; for smoke runs and "
+                             "speedup measurements)")
     parser.add_argument("--only", nargs="*", default=None,
                         help="experiment keys to run "
                              "(1 2 3 4 5 6, or exp4_f5 style)")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: all cores; "
+                             "results are identical at any job count)")
     parser.add_argument("--out-dir", default=str(REPO_ROOT / "results"))
     args = parser.parse_args()
+    jobs = resolve_jobs(os.cpu_count() if args.jobs is None else args.jobs)
 
     keys = list(REDUCED_HORIZONS)
     if args.only:
@@ -122,13 +140,45 @@ def main() -> int:
     out_dir = Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     records = []
+    failures = []
     rendered = [render_table1(), ""]
 
     started = time.time()
+    metadata = {
+        "seed": args.seed,
+        "jobs": jobs,
+        "full": bool(args.full),
+        "horizon_override_hours": args.horizon,
+        "cpu_count": os.cpu_count(),
+        "experiments": keys,
+    }
+
+    def flush():
+        # Flush incrementally so partial sweeps are still useful.
+        metadata["wall_clock_seconds"] = round(time.time() - started, 3)
+        (out_dir / "reproduction.json").write_text(
+            json.dumps(
+                {
+                    "metadata": metadata,
+                    "records": records,
+                    "failures": failures,
+                },
+                indent=1,
+            )
+        )
+        (out_dir / "reproduction.txt").write_text("\n".join(rendered))
+
     for key in keys:
         horizon = FULL_HORIZON if args.full else REDUCED_HORIZONS[key]
-        print(f"=== {key} @ {horizon:g} h ===", file=sys.stderr, flush=True)
-        table: ExperimentTable = run_experiment(key, horizon, args.seed)
+        if args.horizon is not None:
+            horizon = args.horizon
+        print(f"=== {key} @ {horizon:g} h (jobs={jobs}) ===",
+              file=sys.stderr, flush=True)
+        experiment_started = time.time()
+        table: ExperimentTable = run_experiment(
+            key, horizon, args.seed, jobs=jobs
+        )
+        experiment_elapsed = time.time() - experiment_started
         for row in table.rows:
             record = {"experiment": key, "horizon_hours": horizon}
             record.update(row.dims)
@@ -139,9 +189,23 @@ def main() -> int:
                     "error_rate": row.error_rate,
                     "disconnected_error_rate": row.disconnected_error_rate,
                     "queries": row.queries,
+                    "elapsed_seconds": round(row.elapsed_seconds, 3),
                 }
             )
             records.append(record)
+        for failure in table.failures:
+            print(f"[{key}] FAILED {failure.label}\n{failure.traceback}",
+                  file=sys.stderr, flush=True)
+            failures.append(
+                {
+                    "experiment": key,
+                    "label": failure.label,
+                    "dims": failure.dims,
+                    "traceback": failure.traceback,
+                }
+            )
+        print(f"=== {key} done in {experiment_elapsed:.1f}s "
+              f"({len(table.rows)} runs) ===", file=sys.stderr, flush=True)
         metrics = RENDER_METRICS.get(
             key, ("hit_ratio", "response_time", "error_rate")
         )
@@ -149,16 +213,12 @@ def main() -> int:
             report.render_rows(table, RENDER_DIMS[key], metrics=metrics)
         )
         rendered.append("")
-        # Flush incrementally so partial sweeps are still useful.
-        (out_dir / "reproduction.json").write_text(
-            json.dumps(records, indent=1)
-        )
-        (out_dir / "reproduction.txt").write_text("\n".join(rendered))
+        flush()
 
     elapsed = time.time() - started
-    print(f"done in {elapsed / 60:.1f} min; results in {out_dir}",
-          file=sys.stderr)
-    return 0
+    print(f"done in {elapsed / 60:.1f} min with jobs={jobs}; "
+          f"results in {out_dir}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

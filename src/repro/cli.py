@@ -64,6 +64,10 @@ def _build_parser() -> argparse.ArgumentParser:
     exp_parser.add_argument("number", help="experiment number 1-6 or 'all'")
     exp_parser.add_argument("--hours", type=float, default=None)
     exp_parser.add_argument("--seed", type=int, default=42)
+    exp_parser.add_argument("--jobs", type=int, default=None,
+                            help="parallel worker processes (0 = all "
+                                 "cores; default: REPRO_JOBS or serial); "
+                                 "results are identical at any job count")
     exp_parser.add_argument("--quiet", action="store_true",
                             help="suppress per-run progress on stderr")
 
@@ -101,7 +105,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _run_experiment(number: str, hours: float | None, seed: int,
-                    progress: bool) -> None:
+                    progress: bool, jobs: int | None = None) -> None:
     from repro.experiments import (
         exp1_granularity,
         exp2_replacement_ro,
@@ -112,46 +116,46 @@ def _run_experiment(number: str, hours: float | None, seed: int,
     )
 
     if number == "1":
-        table = exp1_granularity.run(hours, seed, progress)
+        table = exp1_granularity.run(hours, seed, progress, jobs=jobs)
         print(report.render_rows(
             table, ["query_kind", "arrival", "heat", "granularity"]
         ))
     elif number == "2":
-        table = exp2_replacement_ro.run(hours, seed, progress)
+        table = exp2_replacement_ro.run(hours, seed, progress, jobs=jobs)
         print(report.render_rows(
             table, ["heat", "query_kind", "arrival", "policy"],
             metrics=("hit_ratio", "response_time"),
         ))
     elif number == "3":
-        table = exp3_replacement_rw.run(hours, seed, progress)
+        table = exp3_replacement_rw.run(hours, seed, progress, jobs=jobs)
         print(report.render_rows(
             table, ["heat", "query_kind", "arrival", "policy"],
             metrics=("hit_ratio", "response_time"),
         ))
     elif number == "4":
-        table = exp4_adaptivity.run_change_rates(hours, seed, progress)
+        table = exp4_adaptivity.run_change_rates(hours, seed, progress, jobs=jobs)
         print(report.render_rows(
             table, ["change_rate", "policy"],
             metrics=("hit_ratio", "response_time"),
         ))
         print()
-        cyclic = exp4_adaptivity.run_cyclic(hours, seed, progress)
+        cyclic = exp4_adaptivity.run_cyclic(hours, seed, progress, jobs=jobs)
         print(report.render_rows(
             cyclic, ["policy"], metrics=("hit_ratio", "response_time")
         ))
     elif number == "5":
-        table = exp5_coherence.run(hours, seed, progress)
+        table = exp5_coherence.run(hours, seed, progress, jobs=jobs)
         print(report.render_rows(
             table, ["beta", "update_probability", "granularity"]
         ))
     elif number == "6":
-        table = exp6_disconnect.run_durations(hours, seed, progress)
+        table = exp6_disconnect.run_durations(hours, seed, progress, jobs=jobs)
         print(report.render_rows(
             table, ["granularity", "duration_hours"],
             metrics=("disconnected_error_rate", "error_rate", "hit_ratio"),
         ))
         print()
-        counts = exp6_disconnect.run_client_counts(hours, seed, progress)
+        counts = exp6_disconnect.run_client_counts(hours, seed, progress, jobs=jobs)
         print(report.render_rows(
             counts, ["granularity", "disconnected_clients"],
             metrics=("error_rate", "hit_ratio"),
@@ -167,7 +171,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         else [args.number]
     )
     for number in numbers:
-        _run_experiment(number, args.hours, args.seed, not args.quiet)
+        _run_experiment(number, args.hours, args.seed, not args.quiet,
+                        jobs=args.jobs)
         print()
     return 0
 

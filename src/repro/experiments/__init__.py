@@ -19,6 +19,14 @@ from repro.experiments.framework import (
     default_horizon_hours,
     execute,
 )
+from repro.experiments.parallel import (
+    ParallelExecutor,
+    RunDescriptor,
+    RunFailure,
+    RunOutcome,
+    build_descriptors,
+    resolve_jobs,
+)
 from repro.experiments.runner import (
     Simulation,
     SimulationResult,
@@ -30,10 +38,16 @@ __all__ = [
     "ExperimentTable",
     "FAST_HORIZON_HOURS",
     "FULL_HORIZON_HOURS",
+    "ParallelExecutor",
+    "RunDescriptor",
+    "RunFailure",
+    "RunOutcome",
     "Simulation",
     "SimulationConfig",
     "SimulationResult",
+    "build_descriptors",
     "default_horizon_hours",
     "execute",
+    "resolve_jobs",
     "run_simulation",
 ]

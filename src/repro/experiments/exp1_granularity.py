@@ -60,10 +60,12 @@ def run(
     horizon_hours: float | None = None,
     seed: int = 42,
     progress: bool = False,
+    jobs: int | None = None,
 ) -> ExperimentTable:
     return execute(
         EXPERIMENT_ID,
         TITLE,
         build_runs(horizon_hours, seed),
         progress=progress,
+        jobs=jobs,
     )

@@ -80,12 +80,14 @@ def run_change_rates(
     horizon_hours: float | None = None,
     seed: int = 42,
     progress: bool = False,
+    jobs: int | None = None,
 ) -> ExperimentTable:
     return execute(
         EXPERIMENT_ID_F5,
         TITLE_F5,
         build_change_rate_runs(horizon_hours, seed),
         progress=progress,
+        jobs=jobs,
     )
 
 
@@ -93,10 +95,12 @@ def run_cyclic(
     horizon_hours: float | None = None,
     seed: int = 42,
     progress: bool = False,
+    jobs: int | None = None,
 ) -> ExperimentTable:
     return execute(
         EXPERIMENT_ID_F6,
         TITLE_F6,
         build_cyclic_runs(horizon_hours, seed),
         progress=progress,
+        jobs=jobs,
     )

@@ -116,12 +116,14 @@ def run_durations(
     horizon_hours: float | None = None,
     seed: int = 42,
     progress: bool = False,
+    jobs: int | None = None,
 ) -> ExperimentTable:
     return execute(
         EXPERIMENT_ID,
         TITLE,
         build_duration_runs(horizon_hours, seed),
         progress=progress,
+        jobs=jobs,
     )
 
 
@@ -129,10 +131,12 @@ def run_client_counts(
     horizon_hours: float | None = None,
     seed: int = 42,
     progress: bool = False,
+    jobs: int | None = None,
 ) -> ExperimentTable:
     return execute(
         EXPERIMENT_ID,
         TITLE,
         build_client_count_runs(horizon_hours, seed),
         progress=progress,
+        jobs=jobs,
     )

@@ -6,17 +6,25 @@ Each experiment module declares a list of runs (label dimensions plus a
 ``horizon_hours`` knob scales every run's observation window so the same
 driver serves quick benchmarks (a few simulated hours) and paper-scale
 reproduction (96 h, set ``REPRO_FULL=1`` or pass 96 explicitly).
+
+Execution is delegated to :mod:`repro.experiments.parallel`: ``jobs=1``
+(the default) runs serially in-process, ``jobs=N`` fans the run list
+over N worker processes with bit-identical results, and ``jobs=None``
+defers to the ``REPRO_JOBS`` environment variable.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
-import sys
 import typing as t
 
 from repro.experiments.config import SimulationConfig
-from repro.experiments.runner import run_simulation
+from repro.experiments.parallel import (
+    ParallelExecutor,
+    RunFailure,
+    build_descriptors,
+)
 
 #: The paper's horizon (hours).
 FULL_HORIZON_HOURS = 96.0
@@ -41,6 +49,9 @@ class ExperimentRow:
     error_rate: float
     queries: int
     disconnected_error_rate: float = 0.0
+    #: Wall-clock cost of the run (not a simulation output; excluded
+    #: from result-equivalence comparisons).
+    elapsed_seconds: float = dataclasses.field(default=0.0, compare=False)
 
     def dim(self, name: str) -> t.Any:
         return self.dims[name]
@@ -53,6 +64,9 @@ class ExperimentTable:
     experiment_id: str
     title: str
     rows: list[ExperimentRow]
+    #: Runs that raised inside their worker (label + traceback); the
+    #: sweep carries on past them, so a table can be partial.
+    failures: list[RunFailure] = dataclasses.field(default_factory=list)
 
     def filter(self, **dims: t.Any) -> "ExperimentTable":
         """Rows whose dimensions match all given values."""
@@ -98,21 +112,37 @@ def execute(
     title: str,
     runs: t.Sequence[RunSpec],
     progress: bool = False,
+    jobs: int | None = None,
+    decorrelate_seeds: bool = False,
 ) -> ExperimentTable:
-    """Run every spec and collect the table."""
+    """Run every spec and collect the table.
+
+    ``jobs`` fans the run list over worker processes (``None`` defers to
+    ``REPRO_JOBS``, default serial; ``0`` means all cores); results are
+    bit-identical to a serial run and come back in declaration order.  A
+    run that crashes lands in :attr:`ExperimentTable.failures` with its
+    label and traceback instead of killing the sweep.
+    """
+    descriptors = build_descriptors(runs, decorrelate_seeds=decorrelate_seeds)
+    executor = ParallelExecutor(jobs=jobs, progress=progress)
+    outcomes = executor.run(experiment_id, descriptors)
     rows: list[ExperimentRow] = []
-    for index, (dims, config) in enumerate(runs):
-        if progress:
-            print(
-                f"[{experiment_id}] run {index + 1}/{len(runs)}: "
-                f"{config.label()}",
-                file=sys.stderr,
-                flush=True,
+    failures: list[RunFailure] = []
+    for outcome in outcomes:
+        if not outcome.ok:
+            failures.append(
+                RunFailure(
+                    index=outcome.index,
+                    dims=outcome.dims,
+                    label=outcome.label,
+                    traceback=t.cast(str, outcome.error),
+                )
             )
-        result = run_simulation(config)
+            continue
+        result = outcome.result
         rows.append(
             ExperimentRow(
-                dims=dict(dims),
+                dims=dict(outcome.dims),
                 hit_ratio=result.hit_ratio,
                 response_time=result.response_time,
                 error_rate=result.error_rate,
@@ -120,6 +150,7 @@ def execute(
                 disconnected_error_rate=(
                     result.disconnected_error_rate
                 ),
+                elapsed_seconds=outcome.elapsed_seconds,
             )
         )
-    return ExperimentTable(experiment_id, title, rows)
+    return ExperimentTable(experiment_id, title, rows, failures=failures)

@@ -19,7 +19,7 @@ from repro.sim.environment import Environment
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.monitor import RatioCounter, Tally, TimeWeighted, summarize
 from repro.sim.process import Interrupt, Process
-from repro.sim.rand import RandomStream, cumulative
+from repro.sim.rand import RandomStream, cumulative, spawn_seed
 from repro.sim.resources import Request, Resource, Store, StoreGet
 
 __all__ = [
@@ -39,5 +39,6 @@ __all__ = [
     "TimeWeighted",
     "Timeout",
     "cumulative",
+    "spawn_seed",
     "summarize",
 ]

@@ -20,6 +20,30 @@ def _derive_seed(seed: int, label: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def spawn_seed(base_seed: int, run_key: "int | str") -> int:
+    """Derive a decorrelated per-run seed from ``(base_seed, run_key)``.
+
+    This is the spawn scheme the parallel experiment executor relies on:
+    every run of a sweep derives its own root seed from the sweep's base
+    seed plus a key identifying the run.  The derivation is a pure
+    function of its two arguments — same platform, same process, same
+    worker, same completion order or not, the seed is the same — so a
+    sweep's results are bit-identical no matter how its runs are
+    scheduled.  Keys may be integers (run indices) or strings (stable
+    content keys); a given key always maps to the same stream, so
+    reordering a run list keyed by content never changes any run's
+    stream.
+
+    The ``spawn:`` domain prefix keeps spawned seeds disjoint from the
+    :meth:`RandomStream.fork` label derivation, so a run's root stream
+    can never collide with one of its own component streams.
+    """
+    digest = hashlib.sha256(
+        f"spawn:{base_seed}:{run_key}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class RandomStream:
     """A named, independently-seeded source of random variates."""
 
@@ -34,6 +58,16 @@ class RandomStream:
     def fork(self, label: str) -> "RandomStream":
         """Create an independent child stream named ``label``."""
         return RandomStream(self.seed, f"{self.label}/{label}")
+
+    def spawn(self, run_key: "int | str") -> "RandomStream":
+        """Create a stream under a *new* seed derived via :func:`spawn_seed`.
+
+        Unlike :meth:`fork` — which varies only the label under the same
+        seed, for decorrelating components *within* one run — ``spawn``
+        derives an entirely new root seed, for decorrelating *runs*
+        within a sweep.
+        """
+        return RandomStream(spawn_seed(self.seed, run_key), label=self.label)
 
     # ------------------------------------------------------------------
     # Variates

@@ -64,3 +64,15 @@ def test_experiment_six_smoke(capsys):
     assert main(["experiment", "6", "--hours", "0.2", "--quiet"]) == 0
     out = capsys.readouterr().out
     assert "disc-err" in out
+
+
+def test_experiment_jobs_flag_matches_serial(capsys):
+    """--jobs N must be invisible in the rendered output."""
+    assert main(["experiment", "4", "--hours", "0.2", "--quiet",
+                 "--jobs", "2"]) == 0
+    parallel_out = capsys.readouterr().out
+    assert main(["experiment", "4", "--hours", "0.2", "--quiet",
+                 "--jobs", "1"]) == 0
+    serial_out = capsys.readouterr().out
+    assert parallel_out == serial_out
+    assert "Figure 5" in parallel_out

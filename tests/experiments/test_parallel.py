@@ -1,0 +1,242 @@
+"""Parallel execution engine: golden equivalence and isolation tests.
+
+The pool's contract is that worker count and completion order are
+unobservable in the results: ``execute(..., jobs=N)`` must produce
+byte-identical rows to the serial path for every experiment driver.
+These tests lock that down on reduced-horizon exp1 and exp5 sweeps,
+plus the out-of-order-completion and worker-crash-isolation cases the
+contract implies.
+"""
+
+import io
+import pickle
+
+import pytest
+
+from repro.experiments import exp1_granularity, exp5_coherence
+from repro.experiments.config import SimulationConfig
+from repro.experiments.framework import execute
+from repro.experiments.parallel import (
+    JOBS_ENV_VAR,
+    ParallelExecutor,
+    RunDescriptor,
+    build_descriptors,
+    config_key,
+    execute_descriptor,
+    resolve_jobs,
+)
+
+#: Small horizon keeping the grids affordable (exp1 is 32 runs, exp5 27).
+EQUIVALENCE_HORIZON_HOURS = 0.15
+
+
+def row_bytes(table):
+    """Canonical byte serialisation of a table's simulation outputs.
+
+    ``elapsed_seconds`` is wall-clock, not a simulation output, so it is
+    excluded; everything the paper's figures are built from is included.
+    """
+    parts = []
+    for row in table.rows:
+        parts.append(
+            repr(
+                (
+                    sorted(row.dims.items()),
+                    row.hit_ratio,
+                    row.response_time,
+                    row.error_rate,
+                    row.queries,
+                    row.disconnected_error_rate,
+                )
+            )
+        )
+    return "\n".join(parts).encode("utf-8")
+
+
+class TestGoldenEquivalence:
+    """jobs=4 and jobs=1 must agree bitwise on real experiment sweeps."""
+
+    def test_exp1_parallel_matches_serial(self):
+        runs = exp1_granularity.build_runs(
+            horizon_hours=EQUIVALENCE_HORIZON_HOURS
+        )
+        serial = execute("exp1", "t", runs, jobs=1)
+        parallel = execute("exp1", "t", runs, jobs=4)
+        assert row_bytes(serial) == row_bytes(parallel)
+        assert serial.rows == parallel.rows
+        assert not serial.failures and not parallel.failures
+
+    def test_exp5_parallel_matches_serial(self):
+        runs = exp5_coherence.build_runs(
+            horizon_hours=EQUIVALENCE_HORIZON_HOURS
+        )
+        serial = execute("exp5", "t", runs, jobs=1)
+        parallel = execute("exp5", "t", runs, jobs=4)
+        assert row_bytes(serial) == row_bytes(parallel)
+        assert serial.rows == parallel.rows
+
+    def test_driver_entrypoint_accepts_jobs(self):
+        table = exp5_coherence.run(
+            horizon_hours=EQUIVALENCE_HORIZON_HOURS, jobs=2
+        )
+        reference = exp5_coherence.run(
+            horizon_hours=EQUIVALENCE_HORIZON_HOURS, jobs=1
+        )
+        assert table.rows == reference.rows
+
+
+class TestOutOfOrderCompletion:
+    """Fast runs finish first; declared order must come out regardless."""
+
+    def test_results_keep_declaration_order(self):
+        # Run 0 simulates ~25x more time than run 1, so with two workers
+        # run 1 completes long before run 0 does.
+        runs = [
+            ({"which": "slow"}, SimulationConfig(horizon_hours=2.5)),
+            ({"which": "fast"}, SimulationConfig(horizon_hours=0.1)),
+        ]
+        log = io.StringIO()
+        executor = ParallelExecutor(jobs=2, progress=True, stream=log)
+        outcomes = executor.run("order", build_descriptors(runs))
+        assert [o.dims["which"] for o in outcomes] == ["slow", "fast"]
+        assert [o.index for o in outcomes] == [0, 1]
+        # The progress log records completion order: the fast run is
+        # reported as the first completion despite being declared last.
+        first_line = log.getvalue().splitlines()[0]
+        assert "run 1/2" in first_line
+
+    def test_serial_path_used_for_single_run(self):
+        runs = [({"which": "only"}, SimulationConfig(horizon_hours=0.1))]
+        executor = ParallelExecutor(jobs=8)
+        outcomes = executor.run("single", build_descriptors(runs))
+        assert len(outcomes) == 1 and outcomes[0].ok
+
+
+class TestCrashIsolation:
+    """A run that raises must not take the sweep down with it."""
+
+    @staticmethod
+    def runs_with_crash():
+        # An unknown replacement spec passes config validation but
+        # raises ReplacementError when the simulation is wired up —
+        # i.e. inside the worker.
+        return [
+            ({"slot": 0}, SimulationConfig(horizon_hours=0.1)),
+            ({"slot": 1}, SimulationConfig(replacement="no-such-policy",
+                                           horizon_hours=0.1)),
+            ({"slot": 2}, SimulationConfig(granularity="AC",
+                                           horizon_hours=0.1)),
+        ]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failure_surfaces_without_killing_sweep(self, jobs):
+        table = execute("crash", "t", self.runs_with_crash(), jobs=jobs)
+        assert [row.dims["slot"] for row in table.rows] == [0, 2]
+        assert len(table.failures) == 1
+        failure = table.failures[0]
+        assert failure.index == 1
+        assert "no-such-policy" in failure.label
+        assert "ReplacementError" in failure.traceback
+
+    def test_serial_and_parallel_agree_on_failures(self):
+        serial = execute("crash", "t", self.runs_with_crash(), jobs=1)
+        parallel = execute("crash", "t", self.runs_with_crash(), jobs=2)
+        assert serial.rows == parallel.rows
+        assert [f.index for f in serial.failures] == [
+            f.index for f in parallel.failures
+        ]
+
+
+class TestJobsResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "5")
+        assert resolve_jobs(None) == 5
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_zero_means_all_cores(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "many")
+        with pytest.raises(ValueError):
+            resolve_jobs(None)
+
+
+class TestRunDescriptors:
+    def test_descriptor_is_picklable(self):
+        runs = exp1_granularity.build_runs(horizon_hours=1.0)
+        descriptors = build_descriptors(runs)
+        clone = pickle.loads(pickle.dumps(descriptors[5]))
+        assert clone == descriptors[5]
+        assert clone.config == descriptors[5].config
+
+    def test_indices_follow_declaration_order(self):
+        runs = exp1_granularity.build_runs(horizon_hours=1.0)
+        descriptors = build_descriptors(runs)
+        assert [d.index for d in descriptors] == list(range(len(runs)))
+
+    def test_execute_descriptor_records_timing(self):
+        descriptor = build_descriptors(
+            [({"k": 1}, SimulationConfig(horizon_hours=0.1))]
+        )[0]
+        outcome = execute_descriptor(descriptor)
+        assert outcome.ok
+        assert outcome.elapsed_seconds > 0.0
+
+
+class TestSeedDecorrelation:
+    """Content-keyed seed spawning: opt-in, order-invariant."""
+
+    def test_default_preserves_config_seeds(self):
+        runs = exp5_coherence.build_runs(horizon_hours=1.0, seed=42)
+        descriptors = build_descriptors(runs)
+        assert all(d.config.seed == 42 for d in descriptors)
+
+    def test_decorrelated_runs_get_distinct_seeds(self):
+        runs = exp5_coherence.build_runs(horizon_hours=1.0, seed=42)
+        descriptors = build_descriptors(runs, decorrelate_seeds=True)
+        seeds = {d.config.seed for d in descriptors}
+        assert len(seeds) == len(descriptors)
+
+    def test_reordering_never_changes_a_configs_seed(self):
+        runs = exp5_coherence.build_runs(horizon_hours=1.0, seed=42)
+        forward = build_descriptors(runs, decorrelate_seeds=True)
+        backward = build_descriptors(
+            list(reversed(runs)), decorrelate_seeds=True
+        )
+        by_key_fwd = {config_key(d.config): d.config.seed for d in forward}
+        by_key_bwd = {config_key(d.config): d.config.seed for d in backward}
+        assert by_key_fwd == by_key_bwd
+
+    def test_config_key_ignores_seed(self):
+        a = SimulationConfig(horizon_hours=1.0, seed=1)
+        b = SimulationConfig(horizon_hours=1.0, seed=2)
+        c = SimulationConfig(horizon_hours=2.0, seed=1)
+        assert config_key(a) == config_key(b)
+        assert config_key(a) != config_key(c)
+
+    def test_decorrelated_parallel_matches_serial(self):
+        runs = [
+            ({"g": g}, SimulationConfig(granularity=g, horizon_hours=0.15))
+            for g in ("AC", "OC", "HC")
+        ]
+        serial = execute("dec", "t", runs, jobs=1, decorrelate_seeds=True)
+        parallel = execute("dec", "t", runs, jobs=2, decorrelate_seeds=True)
+        assert serial.rows == parallel.rows
+        # And decorrelation really changed the draws vs the CRN default.
+        crn = execute("dec", "t", runs, jobs=1)
+        assert row_bytes(crn) != row_bytes(serial)

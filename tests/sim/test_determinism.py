@@ -1,0 +1,110 @@
+"""Property-based determinism of the simulation kernel.
+
+The parallel experiment executor guarantees bit-identical sweeps at any
+worker count.  That guarantee rests on one invariant: a simulation is a
+pure function of its seed — two :class:`Environment` runs with the same
+seed produce identical event traces, draw for draw and tick for tick.
+These tests pin the invariant at the kernel level (a contended-resource
+mini-model traced event by event) and at the full stack level (entire
+simulations compared metric for metric).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import run_simulation
+from repro.sim import Environment, RandomStream, Resource
+
+
+def traced_mini_simulation(seed: int, horizon: float = 50.0):
+    """A small contended model returning its full event trace.
+
+    Three workers share one FCFS facility; each waits an exponential
+    think time, claims the facility for an exponential service time, and
+    logs every state change with the simulated clock.  The trace exposes
+    scheduling order, clock values and random draws all at once — if any
+    of them drifts between runs, the traces differ.
+    """
+    env = Environment()
+    root = RandomStream(seed)
+    facility = Resource(env, name="facility")
+    trace: list[tuple[float, str, str]] = []
+
+    def worker(name: str, rng: RandomStream):
+        while True:
+            yield env.timeout(rng.exponential(3.0))
+            trace.append((env.now, name, "request"))
+            with facility.request() as claim:
+                yield claim
+                trace.append((env.now, name, "acquired"))
+                yield env.timeout(rng.exponential(1.5))
+            trace.append((env.now, name, "released"))
+
+    for index in range(3):
+        env.process(worker(f"w{index}", root.fork(f"worker-{index}")))
+    env.run(until=horizon)
+    return trace
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31))
+def test_same_seed_same_event_trace(seed):
+    first = traced_mini_simulation(seed)
+    second = traced_mini_simulation(seed)
+    assert len(first) > 0
+    assert first == second
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=2**30))
+def test_different_seeds_different_traces(seed):
+    # Not a hard theorem, but 2^64 seed space makes a collision across
+    # hundreds of timestamped events vanishingly unlikely — a failure
+    # here means seeding is broken, not that we got unlucky.
+    assert traced_mini_simulation(seed) != traced_mini_simulation(seed + 1)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31))
+def test_trace_independent_of_prior_simulations(seed):
+    """Running other seeds in between must not leak state across runs
+    (module-level caches, class attributes, interned RNGs...)."""
+    expected = traced_mini_simulation(seed)
+    traced_mini_simulation(seed + 12345)
+    assert traced_mini_simulation(seed) == expected
+
+
+def result_fingerprint(result):
+    return (
+        result.summary.total_queries,
+        result.hit_ratio,
+        result.response_time,
+        result.error_rate,
+        result.disconnected_error_rate,
+        result.uplink_utilization,
+        result.downlink_utilization,
+        result.server_buffer_hit_ratio,
+        result.items_prefetched,
+        result.requests_served,
+    )
+
+
+@settings(max_examples=5, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31))
+def test_full_simulation_bitwise_reproducible(seed):
+    config = SimulationConfig(
+        horizon_hours=0.1, num_clients=2, num_objects=200, selectivity=5
+    )
+    config = config.replaced(seed=seed)
+    assert result_fingerprint(run_simulation(config)) == result_fingerprint(
+        run_simulation(config)
+    )
+
+
+def test_full_simulation_sensitive_to_seed():
+    config = SimulationConfig(
+        horizon_hours=0.2, num_clients=2, num_objects=200, selectivity=5
+    )
+    a = run_simulation(config.replaced(seed=1))
+    b = run_simulation(config.replaced(seed=2))
+    assert result_fingerprint(a) != result_fingerprint(b)

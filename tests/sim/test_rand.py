@@ -5,7 +5,7 @@ import math
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim import RandomStream, cumulative
+from repro.sim import RandomStream, cumulative, spawn_seed
 
 
 def test_same_seed_same_sequence():
@@ -115,3 +115,74 @@ def test_sample_returns_distinct_items():
     stream = RandomStream(seed=9)
     picked = stream.sample(range(100), 10)
     assert len(set(picked)) == 10
+
+
+# ----------------------------------------------------------------------
+# The (base_seed, run_key) spawn scheme the parallel executor rides on.
+# ----------------------------------------------------------------------
+def test_spawn_seed_is_reproducible():
+    assert spawn_seed(42, 0) == spawn_seed(42, 0)
+    assert spawn_seed(42, "HC|U=0.1") == spawn_seed(42, "HC|U=0.1")
+
+
+def test_spawn_seed_distinct_runs_distinct_seeds():
+    seeds = {spawn_seed(42, index) for index in range(200)}
+    assert len(seeds) == 200
+
+
+def test_spawn_seed_depends_on_base_seed():
+    assert spawn_seed(1, 7) != spawn_seed(2, 7)
+
+
+def test_spawn_seed_only_depends_on_its_arguments():
+    """The derivation is a pure function: evaluating other runs' seeds
+    first (in any order) never changes a given run's seed — the property
+    that makes results independent of scheduling and run-list order."""
+    expected = spawn_seed(42, 5)
+    for index in reversed(range(10)):
+        spawn_seed(42, index)
+    assert spawn_seed(42, 5) == expected
+
+
+def test_spawn_streams_are_decorrelated():
+    a = RandomStream(spawn_seed(42, 0))
+    b = RandomStream(spawn_seed(42, 1))
+    assert [a.random() for __ in range(10)] != [b.random() for __ in range(10)]
+
+
+def test_spawn_stream_same_run_reproducible():
+    a = RandomStream(spawn_seed(42, 3)).fork("arrivals")
+    b = RandomStream(spawn_seed(42, 3)).fork("arrivals")
+    assert [a.random() for __ in range(10)] == [b.random() for __ in range(10)]
+
+
+def test_spawned_seed_disjoint_from_fork_derivation():
+    """A run's spawned root stream never collides with a fork child of
+    the base stream (the ``spawn:`` domain prefix keeps them apart)."""
+    base = RandomStream(42)
+    spawned = base.spawn(0)
+    assert spawned.seed != base.seed
+    forked = base.fork("0")
+    assert [spawned.random() for __ in range(10)] != [
+        forked.random() for __ in range(10)
+    ]
+
+
+def test_spawn_does_not_perturb_parent():
+    a = RandomStream(seed=3)
+    before = RandomStream(seed=3)
+    a.spawn(9)
+    assert [a.random() for __ in range(5)] == [
+        before.random() for __ in range(5)
+    ]
+
+
+def test_spawn_method_matches_function():
+    assert RandomStream(42).spawn(4).seed == spawn_seed(42, 4)
+
+
+@given(st.integers(min_value=0, max_value=2**31),
+       st.integers(min_value=0, max_value=10_000))
+def test_spawn_seed_in_64_bit_range(base_seed, run_index):
+    seed = spawn_seed(base_seed, run_index)
+    assert 0 <= seed < 2**64
