@@ -177,8 +177,8 @@ def test_ablation_existent_list(benchmark):
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print()
-    print(f"with existent/held lists    : {results[True]:>12,d} B down")
-    print(f"without existent/held lists : {results[False]:>12,d} B down")
+    print(f"with existent/held lists    : {results[True]:>12,.0f} B down")
+    print(f"without existent/held lists : {results[False]:>12,.0f} B down")
     assert results[True] < results[False]
 
 

@@ -51,7 +51,7 @@ def main() -> None:
             result, purges, bytes_ = run(coherence, hours, disconnected)
             print(
                 f"{coherence:<22} {mode:<6} {result.hit_ratio:8.2%} "
-                f"{result.error_rate:8.2%} {purges:7d} {bytes_:10,d}"
+                f"{result.error_rate:8.2%} {purges:7d} {bytes_:10,.0f}"
             )
     print()
 
@@ -63,7 +63,7 @@ def main() -> None:
         )
         print(
             f"{interval:12.0f} {result.hit_ratio:8.2%} "
-            f"{result.error_rate:8.2%} {bytes_:10,d}"
+            f"{result.error_rate:8.2%} {bytes_:10,.0f}"
         )
     print()
     print("Longer periods save broadcast bandwidth but widen the window")

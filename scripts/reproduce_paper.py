@@ -41,6 +41,7 @@ from repro.experiments import (  # noqa: E402
     exp4_adaptivity,
     exp5_coherence,
     exp6_disconnect,
+    exp7_faults,
     report,
 )
 from repro.experiments.framework import ExperimentTable, execute  # noqa: E402
@@ -58,6 +59,7 @@ REDUCED_HORIZONS = {
     "exp4_f6": 24.0,
     "exp5": 16.0,
     "exp6": 16.0,
+    "exp7": 8.0,
 }
 FULL_HORIZON = 96.0
 
@@ -76,11 +78,15 @@ def run_experiment(name, horizon, seed, progress=True, jobs=None):
                     exp4_adaptivity.TITLE_F6),
         "exp5": (exp5_coherence.build_runs, "exp5", exp5_coherence.TITLE),
         "exp6": (None, "exp6", exp6_disconnect.TITLE),
+        "exp7": (None, "exp7", exp7_faults.TITLE),
     }
     build, experiment_id, title = builders[name]
     if name == "exp6":
         runs = exp6_disconnect.build_duration_runs(horizon, seed)
         runs += exp6_disconnect.build_client_count_runs(horizon, seed)
+    elif name == "exp7":
+        runs = exp7_faults.build_loss_runs(horizon, seed)
+        runs += exp7_faults.build_burst_runs(horizon, seed)
     else:
         runs = build(horizon, seed)
     return execute(experiment_id, title, runs, progress=progress,
@@ -95,6 +101,7 @@ RENDER_DIMS = {
     "exp4_f6": ["policy"],
     "exp5": ["beta", "update_probability", "granularity"],
     "exp6": ["granularity", "duration_hours", "disconnected_clients"],
+    "exp7": ["granularity", "loss_rate", "burst", "retry_budget"],
 }
 
 RENDER_METRICS = {
@@ -102,6 +109,14 @@ RENDER_METRICS = {
         "disconnected_error_rate",
         "error_rate",
         "hit_ratio",
+    ),
+    "exp7": (
+        "hit_ratio",
+        "response_time",
+        "drops",
+        "retries",
+        "timeouts",
+        "degraded",
     ),
 }
 
@@ -116,7 +131,7 @@ def main() -> int:
                              "speedup measurements)")
     parser.add_argument("--only", nargs="*", default=None,
                         help="experiment keys to run "
-                             "(1 2 3 4 5 6, or exp4_f5 style)")
+                             "(1 2 3 4 5 6 7, or exp4_f5 style)")
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes (default: all cores; "
@@ -189,6 +204,10 @@ def main() -> int:
                     "error_rate": row.error_rate,
                     "disconnected_error_rate": row.disconnected_error_rate,
                     "queries": row.queries,
+                    "drops": row.drops,
+                    "retries": row.retries,
+                    "timeouts": row.timeouts,
+                    "degraded": row.degraded,
                     "elapsed_seconds": round(row.elapsed_seconds, 3),
                 }
             )

@@ -57,11 +57,34 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="simulated hours (default: 8, or 96 "
                                  "with REPRO_FULL=1)")
     run_parser.add_argument("--seed", type=int, default=42)
+    fault_group = run_parser.add_argument_group(
+        "fault injection / recovery (Experiment #7)"
+    )
+    fault_group.add_argument("--loss-rate", type=float, default=0.0,
+                             help="per-message drop probability")
+    fault_group.add_argument("--burst-loss-rate", type=float, default=0.0,
+                             help="drop probability while the channel "
+                                  "sits in the BAD burst state")
+    fault_group.add_argument("--burst-on", type=float, default=0.0,
+                             dest="burst_on_probability",
+                             help="GOOD->BAD transition probability")
+    fault_group.add_argument("--burst-off", type=float, default=0.0,
+                             dest="burst_off_probability",
+                             help="BAD->GOOD transition probability")
+    fault_group.add_argument("--timeout", type=float, default=0.0,
+                             dest="request_timeout_seconds",
+                             help="reply-wait timeout in seconds "
+                                  "(0 = no recovery)")
+    fault_group.add_argument("--retry-budget", type=int, default=0,
+                             help="re-sends allowed after a timeout")
+    fault_group.add_argument("--backoff", type=float, default=1.0,
+                             dest="backoff_base_seconds",
+                             help="first retry backoff delay (seconds)")
 
     exp_parser = sub.add_parser(
-        "experiment", help="run a paper experiment (1-6 or 'all')"
+        "experiment", help="run a paper experiment (1-7 or 'all')"
     )
-    exp_parser.add_argument("number", help="experiment number 1-6 or 'all'")
+    exp_parser.add_argument("number", help="experiment number 1-7 or 'all'")
     exp_parser.add_argument("--hours", type=float, default=None)
     exp_parser.add_argument("--seed", type=int, default=42)
     exp_parser.add_argument("--jobs", type=int, default=None,
@@ -91,6 +114,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         disconnection_hours=args.disconnection_hours,
         horizon_hours=hours,
         seed=args.seed,
+        loss_rate=args.loss_rate,
+        burst_loss_rate=args.burst_loss_rate,
+        burst_on_probability=args.burst_on_probability,
+        burst_off_probability=args.burst_off_probability,
+        request_timeout_seconds=args.request_timeout_seconds,
+        retry_budget=args.retry_budget,
+        backoff_base_seconds=args.backoff_base_seconds,
     )
     result = run_simulation(config)
     print(f"configuration : {config.label()}")
@@ -101,6 +131,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"error rate    : {result.error_rate:.2%}")
     print(f"uplink util   : {result.uplink_utilization:.2%}")
     print(f"downlink util : {result.downlink_utilization:.2%}")
+    if config.faults_enabled or config.recovery_enabled:
+        print(f"drops         : {result.messages_dropped}")
+        print(f"aborts        : {result.messages_aborted}")
+        print(f"retries       : {result.retries}")
+        print(f"timeouts      : {result.timeouts}")
+        print(f"degraded      : {result.degraded_queries}")
+        print(f"raw bytes     : {result.raw_bytes:.0f}")
+        print(f"goodput bytes : {result.goodput_bytes:.0f}")
     return 0
 
 
@@ -113,6 +151,7 @@ def _run_experiment(number: str, hours: float | None, seed: int,
         exp4_adaptivity,
         exp5_coherence,
         exp6_disconnect,
+        exp7_faults,
     )
 
     if number == "1":
@@ -160,13 +199,27 @@ def _run_experiment(number: str, hours: float | None, seed: int,
             counts, ["granularity", "disconnected_clients"],
             metrics=("error_rate", "hit_ratio"),
         ))
+    elif number == "7":
+        table = exp7_faults.run_losses(hours, seed, progress, jobs=jobs)
+        print(report.render_rows(
+            table, ["granularity", "loss_rate", "retry_budget"],
+            metrics=("hit_ratio", "response_time", "drops",
+                     "retries", "timeouts", "degraded"),
+        ))
+        print()
+        bursts = exp7_faults.run_bursts(hours, seed, progress, jobs=jobs)
+        print(report.render_rows(
+            bursts, ["granularity", "retry_budget"],
+            metrics=("hit_ratio", "response_time", "drops",
+                     "retries", "timeouts", "degraded"),
+        ))
     else:
-        raise SystemExit(f"unknown experiment {number!r}; use 1-6 or 'all'")
+        raise SystemExit(f"unknown experiment {number!r}; use 1-7 or 'all'")
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     numbers = (
-        ["1", "2", "3", "4", "5", "6"]
+        ["1", "2", "3", "4", "5", "6", "7"]
         if args.number == "all"
         else [args.number]
     )

@@ -21,6 +21,13 @@ Executing a query:
 During disconnection the probe serves even *expired* entries (counted as
 misses and checked for errors — the paper's Experiment #6) and items not
 cached at all go unanswered.
+
+Under fault injection (Experiment #7) the remote round grows recovery
+machinery: a request timeout, bounded retries with exponential backoff
+plus seeded jitter, and — when the budget is exhausted — graceful
+degradation to cache-only answers via the same local-serve path
+Experiment #6 uses.  With recovery off the round is the original
+single-shot path, bit for bit.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ import typing as t
 
 from repro.core.coherence import ErrorOracle
 from repro.core.granularity import CacheKey, CachingGranularity
+from repro.errors import NetworkError
 from repro.core.invalidation import (
     DEFAULT_IR_INTERVAL,
     INVALIDATION_REPORT,
@@ -40,6 +48,8 @@ from repro.core.replacement import create_policy
 from repro.core.replacement.lru import LRUPolicy
 from repro.core.storage_cache import ClientStorageCache
 from repro.metrics.collectors import ClientMetrics
+from repro.net.channel import DELIVERED
+from repro.net.faults import RecoveryPolicy
 from repro.net.message import ReplyMessage, RequestMessage, UpdateValue
 from repro.net.network import Network
 from repro.oodb.database import Database
@@ -48,6 +58,7 @@ from repro.oodb.query import Query
 from repro.oodb.server import DatabaseServer
 from repro.oodb.storage import StorageModel
 from repro.sim.environment import Environment
+from repro.sim.rand import RandomStream
 from repro.sim.resources import Store
 from repro.workload.arrivals import ArrivalProcess
 from repro.workload.queries import QueryWorkload
@@ -79,6 +90,8 @@ class MobileClient:
         objects_per_page: int = 4,
         coherence_mode: str = REFRESH_TIME,
         ir_interval: float = DEFAULT_IR_INTERVAL,
+        recovery: RecoveryPolicy | None = None,
+        recovery_rng: RandomStream | None = None,
     ) -> None:
         self.client_id = client_id
         self.env = env
@@ -116,6 +129,21 @@ class MobileClient:
             if coherence_mode == INVALIDATION_REPORT
             else None
         )
+        #: Recovery machinery for lossy links: request timeouts, bounded
+        #: retries with backoff + jitter, degradation to cache-only
+        #: answers.  ``None`` preserves the original single-shot remote
+        #: round bit-for-bit.
+        self.recovery = recovery
+        if recovery is not None and recovery_rng is None:
+            raise NetworkError(
+                "a recovery policy needs a RandomStream for backoff jitter"
+            )
+        self._backoff_rng = recovery_rng
+        #: Probe whose remote round is in flight; its deferred miss
+        #: accesses are flushed by :meth:`finalize_metrics` if the
+        #: horizon cuts the round (the eager path records at probe time,
+        #: so the no-op identity needs the cut round counted too).
+        self._pending_probe: "_ProbeResult | None" = None
         #: Timing model: memory buffer in front of the local disk.
         self.local_storage = StorageModel(
             buffer_objects, name=f"client-{client_id}"
@@ -150,6 +178,7 @@ class MobileClient:
         """
         if reply.is_trailer:
             self.metrics.bytes_received += reply.size_bytes
+            self.metrics.goodput_bytes += reply.size_bytes
             self._absorb(reply)
         else:
             self.reply_box.put(reply)
@@ -163,6 +192,22 @@ class MobileClient:
     def start(self) -> None:
         """Launch the client's query loop process."""
         self.env.process(self._run(), name=f"client-{self.client_id}")
+
+    def finalize_metrics(self) -> None:
+        """Flush accesses deferred by a round the horizon cut mid-flight.
+
+        Without recovery every miss is recorded eagerly at probe time,
+        so a query still waiting for its reply when the simulation ends
+        has already been counted.  The deferred recording must match:
+        the cut round's misses are recorded exactly as the eager path
+        would have, stamped with the probe instant.
+        """
+        probe = self._pending_probe
+        self._pending_probe = None
+        if probe is None:
+            return
+        for __ in probe.deferred:
+            self.metrics.record_access(False, False, now=probe.recorded_at)
 
     # ------------------------------------------------------------------
     # Query loop
@@ -224,12 +269,18 @@ class MobileClient:
                     for oid, changes in probe.updates.items()
                 },
             )
-            self.metrics.bytes_sent += request.size_bytes
-            self.metrics.remote_rounds += 1
-            yield from self.network.uplink.transmit(request.size_bytes)
-            self.server.inbox.put(request)
-            reply = yield self.reply_box.get()
-            self.metrics.bytes_received += reply.size_bytes
+            self._pending_probe = probe
+            reply = yield from self._remote_round(request)
+            self._pending_probe = None
+            if reply is not None:
+                # The server answered: deferred miss accesses resolve to
+                # fresh values, exactly as the eager recording assumed.
+                for __ in probe.deferred:
+                    self.metrics.record_access(
+                        False, False, now=probe.recorded_at
+                    )
+            else:
+                yield from self._serve_degraded(probe)
 
         self.metrics.record_query(self.env.now - issued_at, connected)
 
@@ -242,11 +293,137 @@ class MobileClient:
                 yield self.env.timeout(write_time)
 
     # ------------------------------------------------------------------
+    # Remote round with recovery
+    # ------------------------------------------------------------------
+    def _remote_round(
+        self, request: RequestMessage
+    ) -> t.Generator[t.Any, t.Any, "ReplyMessage | None"]:
+        """One remote round; ``None`` when the retry budget is exhausted.
+
+        Without a recovery policy this is the original single-shot path:
+        transmit, enqueue at the server, block on the reply.  With one,
+        each attempt transmits (possibly dropped or aborted by the fault
+        layer), waits up to the timeout for the matching reply, and
+        retries after an exponential backoff with seeded jitter, up to
+        the retry budget.  Exhaustion degrades the query to cache-only
+        answers at the caller.
+        """
+        self.metrics.remote_rounds += 1
+        attempts = 1 if self.recovery is None else self.recovery.max_attempts
+        for attempt in range(attempts):
+            if attempt:
+                self.metrics.retries += 1
+                delay = self.recovery.backoff_delay(
+                    attempt - 1, self._backoff_rng
+                )
+                if delay > 0:
+                    yield self.env.timeout(delay)
+                if not self.network.is_connected(self.client_id):
+                    # The link's scheduled disconnection opened while
+                    # backing off: no further attempt can succeed.
+                    break
+            self.metrics.bytes_sent += request.size_bytes
+            outcome = yield from self.network.uplink.transmit(
+                request.size_bytes,
+                deadline=self.network.abort_deadline(self.client_id),
+            )
+            if outcome == DELIVERED:
+                self.server.inbox.put(request)
+            # Even for a dropped/aborted request the client cannot tell —
+            # it simply waits out the timeout before retrying.
+            reply = yield from self._await_reply(request)
+            if reply is not None:
+                self.metrics.bytes_received += reply.size_bytes
+                self.metrics.goodput_bytes += reply.size_bytes
+                return reply
+            self.metrics.timeouts += 1
+        return None
+
+    def _await_reply(
+        self, request: RequestMessage
+    ) -> t.Generator[t.Any, t.Any, "ReplyMessage | None"]:
+        """Wait for the reply matching ``request``; ``None`` on timeout.
+
+        Replies of earlier, abandoned attempts may still arrive (the
+        server serves every request copy it receives); they are
+        discarded by query id without ending the wait.  On timeout the
+        pending get is cancelled — the :class:`Store` re-queues an item
+        that fired in the same instant but was never delivered, so a
+        reply racing the timeout is picked up by the retry.
+        """
+        if self.recovery is None:
+            while True:
+                reply = yield self.reply_box.get()
+                if reply.query_id == request.query_id:
+                    return reply
+                self.metrics.late_replies += 1
+        deadline = self.env.now + self.recovery.timeout_seconds
+        while True:
+            remaining = deadline - self.env.now
+            if remaining <= 0:
+                return None
+            get_event = self.reply_box.get()
+            fired = yield self.env.any_of(
+                [get_event, self.env.timeout(remaining)]
+            )
+            if get_event not in fired:
+                self.reply_box.cancel(get_event)
+                return None
+            reply = fired[get_event]
+            if reply.query_id == request.query_id:
+                return reply
+            self.metrics.late_replies += 1
+
+    def _serve_degraded(
+        self, probe: "_ProbeResult"
+    ) -> t.Generator[t.Any, t.Any, None]:
+        """Answer a failed remote round from the cache alone.
+
+        Experiment #6's local-serve path, reused for retry exhaustion:
+        every deferred miss access is served from its (expired) cached
+        entry when one exists — counted as a stale serve and checked
+        against the error oracle — or goes unanswered.  Updates that
+        never reached the server are lost.
+        """
+        read_time = 0.0
+        for key, attr_size in probe.deferred:
+            entry = self.cache.lookup(key)
+            if entry is not None:
+                oid, __ = key
+                read_time += self.local_storage.access(oid, attr_size)
+                self.cache.touch(key, self.env.now)
+                is_error = ErrorOracle.is_stale(
+                    entry.version, self.server.current_version(*key)
+                )
+                self.metrics.record_access(
+                    False, is_error, now=probe.recorded_at
+                )
+                self.metrics.stale_served_accesses += 1
+            else:
+                self.metrics.record_access(
+                    False, False, answered=False, now=probe.recorded_at
+                )
+                self.metrics.unanswered_accesses += 1
+        self.metrics.degraded_queries += 1
+        self.metrics.lost_updates += sum(
+            len(changes) for changes in probe.updates.values()
+        )
+        if read_time > 0:
+            yield self.env.timeout(read_time)
+
+    # ------------------------------------------------------------------
     # Probe phase
     # ------------------------------------------------------------------
     def _probe(self, query: Query, connected: bool) -> "_ProbeResult":
         now = self.env.now
         result = _ProbeResult()
+        result.recorded_at = now
+        # With recovery machinery active, a connected miss may end up
+        # served by the server (fresh), by a stale cached entry, or not
+        # at all — so its hit/error recording is deferred until the
+        # remote round resolves.  Without recovery the round cannot
+        # fail, and misses are recorded eagerly exactly as before.
+        defer = self.recovery is not None
         seen_existent: set[CacheKey] = set()
         seen_needed: set[CacheKey] = set()
         seen_updates: set[tuple[OID, str]] = set()
@@ -276,7 +453,10 @@ class MobileClient:
                     seen_existent.add(key)
                     result.existent.append(key)
             elif connected:
-                self.metrics.record_access(False, False, now=now)
+                if defer:
+                    result.deferred.append((key, attr_size))
+                else:
+                    self.metrics.record_access(False, False, now=now)
                 self._add_needed(result, seen_needed, key)
             elif entry is not None:
                 # Disconnected: use the expired entry anyway.
@@ -418,9 +598,23 @@ class MobileClient:
 
 
 class _ProbeResult:
-    """What one probe pass produces."""
+    """What one probe pass produces.
 
-    __slots__ = ("local_read_time", "needed", "existent", "held", "updates")
+    ``deferred`` lists connected miss accesses (key, attribute size)
+    whose metric recording waits for the remote round's outcome; it is
+    only populated when recovery machinery is active.  ``recorded_at``
+    is the probe instant every deferred access is stamped with.
+    """
+
+    __slots__ = (
+        "local_read_time",
+        "needed",
+        "existent",
+        "held",
+        "updates",
+        "deferred",
+        "recorded_at",
+    )
 
     def __init__(self) -> None:
         self.local_read_time = 0.0
@@ -428,3 +622,5 @@ class _ProbeResult:
         self.existent: list[CacheKey] = []
         self.held: list[CacheKey] = []
         self.updates: dict[OID, list[UpdateValue]] = {}
+        self.deferred: list[tuple[CacheKey, int]] = []
+        self.recorded_at = 0.0

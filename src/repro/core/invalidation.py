@@ -129,5 +129,9 @@ def broadcaster(
         report = InvalidationReport(
             sequence=sequence, broadcast_at=env.now, keys=keys
         )
-        yield from channel.transmit(report.size_bytes)
+        outcome = yield from channel.transmit(report.size_bytes)
+        # String literal instead of repro.net.channel.DROPPED: importing
+        # repro.net here would cycle back into repro.core during init.
+        if outcome == "dropped":
+            continue
         deliver(report)

@@ -86,6 +86,25 @@ class SimulationConfig:
     #: Broadcast period of the invalidation-report baseline (seconds).
     ir_interval_seconds: float = 1000.0
 
+    # -- network faults / recovery (Experiment #7) -----------------------
+    #: Per-message drop probability on every wireless channel (0 = off).
+    loss_rate: float = 0.0
+    #: Drop probability while the Gilbert-Elliott chain sits in BAD.
+    burst_loss_rate: float = 0.0
+    #: Per-message GOOD -> BAD transition probability (0 disables bursts).
+    burst_on_probability: float = 0.0
+    #: Per-message BAD -> GOOD transition probability.
+    burst_off_probability: float = 0.0
+    #: Reply-wait timeout before a retry / degradation (0 = no recovery).
+    request_timeout_seconds: float = 0.0
+    #: Re-sends allowed after the first attempt times out.
+    retry_budget: int = 0
+    #: First backoff delay; grows by ``backoff_multiplier`` per attempt.
+    backoff_base_seconds: float = 1.0
+    backoff_multiplier: float = 2.0
+    #: Uniform jitter fraction added on top of each backoff delay.
+    backoff_jitter: float = 0.5
+
     # -- run control -------------------------------------------------------
     horizon_hours: float = 96.0
     seed: int = 42
@@ -171,6 +190,54 @@ class SimulationConfig:
                 f"IR interval must be positive, got "
                 f"{self.ir_interval_seconds!r}"
             )
+        for name in (
+            "loss_rate",
+            "burst_loss_rate",
+            "burst_on_probability",
+            "burst_off_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must lie in [0, 1], got {value!r}"
+                )
+        if self.burst_on_probability > 0 and self.burst_off_probability <= 0:
+            raise ConfigurationError(
+                "burst loss needs a positive burst_off_probability"
+            )
+        if self.request_timeout_seconds < 0:
+            raise ConfigurationError(
+                f"request timeout must be >= 0, got "
+                f"{self.request_timeout_seconds!r}"
+            )
+        if self.faults_enabled and not self.recovery_enabled:
+            raise ConfigurationError(
+                "fault injection needs request_timeout_seconds > 0, or "
+                "clients hang forever on a dropped reply"
+            )
+        if self.retry_budget < 0:
+            raise ConfigurationError(
+                f"retry budget must be >= 0, got {self.retry_budget!r}"
+            )
+        if self.retry_budget and not self.recovery_enabled:
+            raise ConfigurationError(
+                "retries need request_timeout_seconds > 0"
+            )
+        if self.backoff_base_seconds < 0:
+            raise ConfigurationError(
+                f"backoff base must be >= 0, got "
+                f"{self.backoff_base_seconds!r}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff multiplier must be >= 1, got "
+                f"{self.backoff_multiplier!r}"
+            )
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ConfigurationError(
+                f"backoff jitter must lie in [0, 1], got "
+                f"{self.backoff_jitter!r}"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -180,6 +247,16 @@ class SimulationConfig:
     @property
     def disconnection_seconds(self) -> float:
         return self.disconnection_hours * HOUR
+
+    @property
+    def faults_enabled(self) -> bool:
+        """Whether the fault-injection layer is active at all."""
+        return self.loss_rate > 0 or self.burst_on_probability > 0
+
+    @property
+    def recovery_enabled(self) -> bool:
+        """Whether clients time out (and possibly retry) reply waits."""
+        return self.request_timeout_seconds > 0
 
     def replaced(self, **changes: object) -> "SimulationConfig":
         """A copy with some fields replaced (validates the result)."""
@@ -200,6 +277,12 @@ class SimulationConfig:
             parts.append(
                 f"V={self.disconnected_clients}/D={self.disconnection_hours:g}h"
             )
+        if self.faults_enabled:
+            parts.append(f"loss={self.loss_rate:g}")
+            if self.burst_on_probability > 0:
+                parts.append(f"burst={self.burst_loss_rate:g}")
+        if self.recovery_enabled:
+            parts.append(f"retry={self.retry_budget}")
         return " ".join(parts)
 
     def as_table_rows(self) -> list[tuple[str, str]]:

@@ -21,7 +21,6 @@ from __future__ import annotations
 from repro.experiments.config import SimulationConfig
 from repro.experiments.framework import (
     ExperimentTable,
-    FULL_HORIZON_HOURS,
     RunSpec,
     default_horizon_hours,
     execute,

@@ -1,0 +1,149 @@
+"""Experiment #7 — channel faults, retries, and graceful degradation.
+
+Beyond the paper: the wireless link of Section 4 is error-free, but real
+mobile channels drop and corrupt frames.  This experiment injects
+per-message losses (optionally bursty, Gilbert-Elliott) into both
+point-to-point channels and sweeps the client's retry budget, measuring
+how the three caching granularities absorb an unreliable link.
+
+Two tables:
+
+* the **loss sweep** crosses loss rate x retry budget for AC, OC and HC
+  with a fixed request timeout — drops, retries, timeouts and degraded
+  (cache-only) answers appear alongside the three paper metrics;
+* the **burst table** holds the marginal loss rate fixed but
+  concentrates it into Gilbert-Elliott bursts, showing that clustered
+  losses defeat small retry budgets that independent losses tolerate.
+
+All runs share the workload seed, so within one column the fault stream
+is the only varying input (common random numbers).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.framework import (
+    ExperimentTable,
+    RunSpec,
+    default_horizon_hours,
+    execute,
+)
+
+EXPERIMENT_ID = "exp7"
+TITLE = "Experiment 7: channel faults, retries, degradation"
+
+GRANULARITIES = ("AC", "OC", "HC")
+LOSS_RATES = (0.0, 0.05, 0.2)
+RETRY_BUDGETS = (0, 1, 3)
+#: Reply-wait timeout: a full round under the 19.2 Kbps link takes a few
+#: seconds, so 60 s cleanly separates "slow" from "lost".
+TIMEOUT_SECONDS = 60.0
+BACKOFF_BASE_SECONDS = 5.0
+#: Burst-table settings: ~5% marginal loss concentrated into bursts
+#: (stationary BAD share 1/11, 55% loss while BAD).
+BURST_LOSS_RATE = 0.55
+BURST_ON_PROBABILITY = 0.02
+BURST_OFF_PROBABILITY = 0.2
+
+
+def _base_config(
+    granularity: str,
+    horizon: float,
+    seed: int,
+    **faults: object,
+) -> SimulationConfig:
+    return SimulationConfig(
+        granularity=granularity,
+        replacement="ewma-0.5",
+        query_kind="AQ",
+        arrival="poisson",
+        heat="SH",
+        update_probability=0.1,
+        num_clients=10,
+        horizon_hours=horizon,
+        seed=seed,
+        request_timeout_seconds=TIMEOUT_SECONDS,
+        backoff_base_seconds=BACKOFF_BASE_SECONDS,
+        **faults,  # type: ignore[arg-type]
+    )
+
+
+def build_loss_runs(
+    horizon_hours: float | None = None, seed: int = 42
+) -> list[RunSpec]:
+    """Loss rate x retry budget for each granularity."""
+    horizon = horizon_hours or default_horizon_hours()
+    runs: list[RunSpec] = []
+    for granularity in GRANULARITIES:
+        for loss_rate in LOSS_RATES:
+            for retry_budget in RETRY_BUDGETS:
+                config = _base_config(
+                    granularity,
+                    horizon,
+                    seed,
+                    loss_rate=loss_rate,
+                    retry_budget=retry_budget,
+                )
+                dims = {
+                    "granularity": granularity,
+                    "loss_rate": loss_rate,
+                    "retry_budget": retry_budget,
+                }
+                runs.append((dims, config))
+    return runs
+
+
+def build_burst_runs(
+    horizon_hours: float | None = None, seed: int = 42
+) -> list[RunSpec]:
+    """Bursty losses at a fixed marginal rate, sweeping the budget."""
+    horizon = horizon_hours or default_horizon_hours()
+    runs: list[RunSpec] = []
+    for granularity in GRANULARITIES:
+        for retry_budget in RETRY_BUDGETS:
+            config = _base_config(
+                granularity,
+                horizon,
+                seed,
+                burst_loss_rate=BURST_LOSS_RATE,
+                burst_on_probability=BURST_ON_PROBABILITY,
+                burst_off_probability=BURST_OFF_PROBABILITY,
+                retry_budget=retry_budget,
+            )
+            dims = {
+                "granularity": granularity,
+                "burst": True,
+                "retry_budget": retry_budget,
+            }
+            runs.append((dims, config))
+    return runs
+
+
+def run_losses(
+    horizon_hours: float | None = None,
+    seed: int = 42,
+    progress: bool = False,
+    jobs: int | None = None,
+) -> ExperimentTable:
+    return execute(
+        EXPERIMENT_ID,
+        TITLE,
+        build_loss_runs(horizon_hours, seed),
+        progress=progress,
+        jobs=jobs,
+    )
+
+
+def run_bursts(
+    horizon_hours: float | None = None,
+    seed: int = 42,
+    progress: bool = False,
+    jobs: int | None = None,
+) -> ExperimentTable:
+    return execute(
+        EXPERIMENT_ID,
+        TITLE,
+        build_burst_runs(horizon_hours, seed),
+        progress=progress,
+        jobs=jobs,
+    )

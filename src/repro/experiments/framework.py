@@ -49,6 +49,11 @@ class ExperimentRow:
     error_rate: float
     queries: int
     disconnected_error_rate: float = 0.0
+    # -- fault-injection / recovery counters (Experiment #7) ------------
+    drops: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    degraded: int = 0
     #: Wall-clock cost of the run (not a simulation output; excluded
     #: from result-equivalence comparisons).
     elapsed_seconds: float = dataclasses.field(default=0.0, compare=False)
@@ -150,6 +155,10 @@ def execute(
                 disconnected_error_rate=(
                     result.disconnected_error_rate
                 ),
+                drops=result.messages_dropped,
+                retries=result.retries,
+                timeouts=result.timeouts,
+                degraded=result.degraded_queries,
                 elapsed_seconds=outcome.elapsed_seconds,
             )
         )

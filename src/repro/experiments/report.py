@@ -12,6 +12,10 @@ _METRICS: dict[str, tuple[str, t.Callable[[float], str]]] = {
     "response_time": ("resp(s)", lambda v: f"{v:8.3f}"),
     "error_rate": ("err", lambda v: f"{v:7.2%}"),
     "disconnected_error_rate": ("disc-err", lambda v: f"{v:7.2%}"),
+    "drops": ("drops", lambda v: f"{v:8d}"),
+    "retries": ("retries", lambda v: f"{v:8d}"),
+    "timeouts": ("timeouts", lambda v: f"{v:8d}"),
+    "degraded": ("degraded", lambda v: f"{v:8d}"),
 }
 
 

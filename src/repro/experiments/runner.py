@@ -11,6 +11,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.config import SimulationConfig
 from repro.metrics.collectors import MetricsSummary
 from repro.net.disconnect import DisconnectionSchedule, plan_single_windows
+from repro.net.faults import FaultConfig, RecoveryPolicy
 from repro.net.network import Network
 from repro.oodb.database import Database, build_default_database
 from repro.oodb.query import QueryKind
@@ -43,6 +44,16 @@ class SimulationResult:
     server_buffer_hit_ratio: float
     items_prefetched: int
     requests_served: int
+    # -- fault-injection / recovery accounting (Experiment #7) ----------
+    messages_dropped: int = 0
+    messages_aborted: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    degraded_queries: int = 0
+    #: All airtime spent, in bytes (completed plus aborted partials).
+    raw_bytes: float = 0.0
+    #: Bytes of messages that actually reached their receiver.
+    goodput_bytes: float = 0.0
 
     @property
     def hit_ratio(self) -> float:
@@ -74,8 +85,29 @@ class Simulation:
             config.num_objects, rng=root_rng.fork("database")
         )
         schedule = self._build_disconnections(root_rng)
+        faults: FaultConfig | None = None
+        if config.faults_enabled:
+            faults = FaultConfig(
+                loss_rate=config.loss_rate,
+                burst_loss_rate=config.burst_loss_rate,
+                burst_on_probability=config.burst_on_probability,
+                burst_off_probability=config.burst_off_probability,
+            )
+        recovery: RecoveryPolicy | None = None
+        if config.recovery_enabled:
+            recovery = RecoveryPolicy(
+                timeout_seconds=config.request_timeout_seconds,
+                retry_budget=config.retry_budget,
+                backoff_base_seconds=config.backoff_base_seconds,
+                backoff_multiplier=config.backoff_multiplier,
+                backoff_jitter=config.backoff_jitter,
+            )
         self.network = Network(
-            self.env, bandwidth_bps=config.wireless_bps, schedule=schedule
+            self.env,
+            bandwidth_bps=config.wireless_bps,
+            schedule=schedule,
+            faults=faults,
+            fault_rng=root_rng.fork("faults") if faults else None,
         )
         tracker = AttributeAccessTracker(
             k_sigma=config.prefetch_k_sigma,
@@ -141,6 +173,10 @@ class Simulation:
                 objects_per_page=config.objects_per_page,
                 coherence_mode=config.coherence,
                 ir_interval=config.ir_interval_seconds,
+                recovery=recovery,
+                recovery_rng=(
+                    client_rng.fork("recovery") if recovery else None
+                ),
             )
             client.local_storage.disk.bandwidth_bps = config.disk_bps
             client.local_storage.memory.bandwidth_bps = config.memory_bps
@@ -201,6 +237,8 @@ class Simulation:
         for client in self.clients:
             client.start()
         self.env.run(until=self.config.horizon_seconds)
+        for client in self.clients:
+            client.finalize_metrics()
         summary = MetricsSummary([c.metrics for c in self.clients])
         return SimulationResult(
             config=self.config,
@@ -210,6 +248,13 @@ class Simulation:
             server_buffer_hit_ratio=self.server.storage.buffer_hit_ratio,
             items_prefetched=self.server.items_prefetched,
             requests_served=self.server.requests_served,
+            messages_dropped=self.network.messages_dropped,
+            messages_aborted=self.network.messages_aborted,
+            retries=summary.total_retries,
+            timeouts=summary.total_timeouts,
+            degraded_queries=summary.total_degraded_queries,
+            raw_bytes=self.network.raw_bytes,
+            goodput_bytes=self.network.goodput_bytes,
         )
 
 

@@ -44,6 +44,19 @@ class ClientMetrics:
         self.stale_served_accesses = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+        # -- fault-injection / recovery counters (Experiment #7) --------
+        #: Request re-sends after a reply wait expired.
+        self.retries = 0
+        #: Reply waits that expired (each may trigger a retry).
+        self.timeouts = 0
+        #: Queries answered cache-only after the retry budget ran out.
+        self.degraded_queries = 0
+        #: Replies for an abandoned earlier attempt, discarded on arrival.
+        self.late_replies = 0
+        #: Attribute writes lost because no attempt reached the server.
+        self.lost_updates = 0
+        #: Bytes of replies actually consumed (vs ``bytes_received`` raw).
+        self.goodput_bytes = 0
 
     def __repr__(self) -> str:
         return (
@@ -151,6 +164,31 @@ class MetricsSummary:
     @property
     def total_accesses(self) -> int:
         return self.hit.total
+
+    # -- fault-injection / recovery totals (Experiment #7) -------------
+    @property
+    def total_retries(self) -> int:
+        return sum(client.retries for client in self.clients)
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(client.timeouts for client in self.clients)
+
+    @property
+    def total_degraded_queries(self) -> int:
+        return sum(client.degraded_queries for client in self.clients)
+
+    @property
+    def total_late_replies(self) -> int:
+        return sum(client.late_replies for client in self.clients)
+
+    @property
+    def total_lost_updates(self) -> int:
+        return sum(client.lost_updates for client in self.clients)
+
+    @property
+    def total_goodput_bytes(self) -> float:
+        return sum(client.goodput_bytes for client in self.clients)
 
     def response_confidence_interval(
         self, level: float = 0.95

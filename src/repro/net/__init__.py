@@ -1,7 +1,20 @@
 """Wireless network substrate: channels, messages, disconnection."""
 
-from repro.net.channel import WIRELESS_BANDWIDTH_BPS, WirelessChannel
+from repro.net.channel import (
+    ABORTED,
+    DELIVERED,
+    DROPPED,
+    WIRELESS_BANDWIDTH_BPS,
+    WirelessChannel,
+)
 from repro.net.disconnect import DisconnectionSchedule, plan_single_windows
+from repro.net.faults import (
+    FaultConfig,
+    FaultEvent,
+    FaultInjector,
+    RecoveryPolicy,
+    merged_trace,
+)
 from repro.net.message import (
     ATTR_ID_BYTES,
     HEADER_BYTES,
@@ -16,10 +29,17 @@ from repro.net.message import (
 from repro.net.network import Network
 
 __all__ = [
+    "ABORTED",
     "ATTR_ID_BYTES",
+    "DELIVERED",
+    "DROPPED",
     "DisconnectionSchedule",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
     "HEADER_BYTES",
     "Network",
+    "RecoveryPolicy",
     "OID_BYTES",
     "QUERY_DESCRIPTOR_BYTES",
     "REFRESH_TIME_BYTES",
@@ -29,5 +49,6 @@ __all__ = [
     "UpdateValue",
     "WIRELESS_BANDWIDTH_BPS",
     "WirelessChannel",
+    "merged_trace",
     "plan_single_windows",
 ]

@@ -5,6 +5,21 @@ upstream queries, the other downstream results (Section 4).  A channel
 is a single FCFS facility — a message holds it for its transmission time,
 and contention (especially downstream under bursty arrivals) produces
 the queueing delays the paper discusses in Experiment #3.
+
+A transmission can end three ways (see :meth:`WirelessChannel.transmit`):
+
+* :data:`DELIVERED` — full airtime spent, receiver CRC passed;
+* :data:`DROPPED` — full airtime spent but the attached
+  :class:`~repro.net.faults.FaultInjector` corrupted it (the receiver's
+  CRC check fails, so the message is lost);
+* :data:`ABORTED` — cut mid-air, either by the ``deadline`` argument
+  (the destination's disconnection window opened) or by an interrupt
+  thrown into the transmitting process.
+
+Accounting happens *inside* the facility guard at the moment the
+outcome is known, so an aborted transmission contributes its partial
+airtime to ``bytes_aborted`` instead of silently vanishing, and
+fractional byte counts accumulate exactly instead of being truncated.
 """
 
 from __future__ import annotations
@@ -13,11 +28,17 @@ import typing as t
 
 from repro._units import KBPS, transmission_time
 from repro.errors import NetworkError
+from repro.net.faults import FaultInjector
 from repro.sim.environment import Environment
 from repro.sim.resources import Resource
 
 #: The paper's wireless bandwidth per channel.
 WIRELESS_BANDWIDTH_BPS = 19.2 * KBPS
+
+#: Transmission outcomes returned by :meth:`WirelessChannel.transmit`.
+DELIVERED = "delivered"
+DROPPED = "dropped"
+ABORTED = "aborted"
 
 
 class WirelessChannel:
@@ -28,6 +49,7 @@ class WirelessChannel:
         env: Environment,
         bandwidth_bps: float = WIRELESS_BANDWIDTH_BPS,
         name: str = "channel",
+        injector: FaultInjector | None = None,
     ) -> None:
         if bandwidth_bps <= 0:
             raise NetworkError(
@@ -36,9 +58,17 @@ class WirelessChannel:
         self.env = env
         self.bandwidth_bps = float(bandwidth_bps)
         self.name = name
+        self.injector = injector
         self._facility = Resource(env, capacity=1, name=name)
-        self.bytes_carried = 0
+        #: Bytes whose airtime completed (delivered *or* corrupted).
+        self.bytes_carried = 0.0
         self.messages_carried = 0
+        #: Goodput: bytes of messages that actually reached the receiver.
+        self.bytes_delivered = 0.0
+        self.messages_dropped = 0
+        #: Partial airtime of transmissions cut mid-air.
+        self.bytes_aborted = 0.0
+        self.messages_aborted = 0
 
     def __repr__(self) -> str:
         return (
@@ -56,19 +86,59 @@ class WirelessChannel:
         return transmission_time(size_bytes, self.bandwidth_bps)
 
     def transmit(
-        self, size_bytes: float
-    ) -> t.Generator[t.Any, t.Any, None]:
+        self, size_bytes: float, deadline: float | None = None
+    ) -> t.Generator[t.Any, t.Any, str]:
         """Occupy the channel for one message (``yield from`` this).
 
         FCFS: callers queue behind whatever is already in flight.
+        Returns the transmission outcome — :data:`DELIVERED`,
+        :data:`DROPPED` (fault injector corrupted it) or
+        :data:`ABORTED` (cut at ``deadline``).  An interrupt thrown
+        into the caller while the message is in flight also counts the
+        abort before propagating, so channel statistics stay consistent
+        on every exit path.
         """
         if size_bytes < 0:
             raise NetworkError(f"negative message size: {size_bytes!r}")
         with self._facility.request() as grant:
             yield grant
-            yield self.env.timeout(self.transmission_time(size_bytes))
-        self.bytes_carried += int(size_bytes)
-        self.messages_carried += 1
+            airtime = self.transmission_time(size_bytes)
+            started = self.env.now
+            if deadline is not None and started + airtime > deadline:
+                # The link is scheduled to cut before this message could
+                # finish: spend the partial airtime, then abort.
+                remaining = deadline - started
+                if remaining > 0:
+                    yield self.env.timeout(remaining)
+                self._account_abort(size_bytes, airtime, started)
+                return ABORTED
+            try:
+                yield self.env.timeout(airtime)
+            except BaseException:
+                # Interrupted mid-flight (e.g. a disconnection notice
+                # thrown into the sender): account before propagating so
+                # the partial transmission does not vanish from stats.
+                self._account_abort(size_bytes, airtime, started)
+                raise
+            self.bytes_carried += size_bytes
+            self.messages_carried += 1
+            if self.injector is not None and self.injector.should_drop(
+                self.env.now, size_bytes
+            ):
+                self.messages_dropped += 1
+                return DROPPED
+            self.bytes_delivered += size_bytes
+        return DELIVERED
+
+    def _account_abort(
+        self, size_bytes: float, airtime: float, started: float
+    ) -> None:
+        if airtime > 0:
+            elapsed = self.env.now - started
+            self.bytes_aborted += size_bytes * (elapsed / airtime)
+        self.messages_aborted += 1
+        if self.injector is not None:
+            self.injector.note_abort(self.env.now, size_bytes)
 
     def utilization(self) -> float:
         """Fraction of elapsed time the channel has been busy."""

@@ -63,6 +63,23 @@ class DisconnectionSchedule:
         start, end = self._windows[client_id][index]
         return not (start <= now < end)
 
+    def next_window_start(
+        self, client_id: int, now: float
+    ) -> float | None:
+        """Start of the client's next window strictly after ``now``.
+
+        ``None`` when no further window exists.  Used by the fault layer
+        to cut transmissions that would still be in flight when the
+        destination's link drops (mid-transmission aborts).
+        """
+        starts = self._starts.get(client_id)
+        if not starts:
+            return None
+        index = bisect.bisect_right(starts, now)
+        if index >= len(starts):
+            return None
+        return starts[index]
+
     def windows_of(self, client_id: int) -> list[Window]:
         return list(self._windows.get(client_id, []))
 

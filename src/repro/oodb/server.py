@@ -25,6 +25,7 @@ from repro.core.invalidation import (
 )
 from repro.core.prefetch import AttributeAccessTracker
 from repro.errors import NetworkError
+from repro.net.channel import DELIVERED
 from repro.net.message import ReplyItem, ReplyMessage, RequestMessage
 from repro.net.network import Network
 from repro.oodb.database import Database
@@ -101,6 +102,10 @@ class DatabaseServer:
         self.items_returned = 0
         self.items_prefetched = 0
         self.trailers_dropped = 0
+        #: Replies/trailers lost on the downlink (fault layer: corrupted
+        #: in flight, or cut by the destination's disconnection window).
+        self.replies_lost = 0
+        self.trailers_lost = 0
 
     def __repr__(self) -> str:
         return f"<DatabaseServer {self.name!r} served={self.requests_served}>"
@@ -159,7 +164,16 @@ class DatabaseServer:
             raise NetworkError(
                 f"no delivery route for client {reply.client_id}"
             )
-        yield from self.network.downlink.transmit(reply.size_bytes)
+        outcome = yield from self.network.downlink.transmit(
+            reply.size_bytes,
+            deadline=self.network.abort_deadline(reply.client_id),
+        )
+        if outcome != DELIVERED:
+            # The reply was corrupted or cut by the destination's
+            # disconnection; the client's timeout/retry machinery will
+            # re-request.  The trailer would be equally undeliverable.
+            self.replies_lost += 1
+            return
         deliver(reply)
         if trailer is not None:
             threshold = self.trailer_drop_queue_threshold
@@ -174,8 +188,14 @@ class DatabaseServer:
             # Prefetches trail the requested items: they occupy the
             # downlink (and can congest it under bursty load) but never
             # delay the response of the query that triggered them.
-            yield from self.network.downlink.transmit(trailer.size_bytes)
-            deliver(trailer)
+            outcome = yield from self.network.downlink.transmit(
+                trailer.size_bytes,
+                deadline=self.network.abort_deadline(reply.client_id),
+            )
+            if outcome == DELIVERED:
+                deliver(trailer)
+            else:
+                self.trailers_lost += 1
 
     def serve(
         self, request: RequestMessage

@@ -56,7 +56,10 @@ class Resource:
         self.name = name
         self._users: list[Request] = []
         self._waiting: deque[Request] = deque()
-        # Utilisation accounting (busy integral over time).
+        # Utilisation accounting (busy integral over time).  The busy
+        # fraction is normalised over the resource's own lifetime, so a
+        # facility constructed at t>0 is not under-reported.
+        self._created = env.now
         self._busy_since = env.now
         self._busy_integral = 0.0
 
@@ -106,11 +109,17 @@ class Resource:
                 pass
 
     def utilization(self) -> float:
-        """Fraction of elapsed time at least one server was busy."""
+        """Fraction of the resource's lifetime at least one server was busy.
+
+        Normalised by time elapsed since the resource was *created*, not
+        by the absolute clock — a facility constructed at t>0 would
+        otherwise under-report for its whole life.
+        """
         self._account()
-        if self.env.now == 0:
+        elapsed = self.env.now - self._created
+        if elapsed <= 0:
             return 0.0
-        return self._busy_integral / self.env.now
+        return self._busy_integral / elapsed
 
     def _account(self) -> None:
         now = self.env.now
@@ -120,9 +129,18 @@ class Resource:
 
 
 class StoreGet(Event):
-    """A pending retrieval from a :class:`Store`."""
+    """A pending retrieval from a :class:`Store`.
 
-    __slots__ = ()
+    ``requeued`` marks a get whose event fired but whose item was
+    returned to the buffer because the waiting process abandoned it
+    (see :meth:`Store.cancel`); it guards against double re-queueing.
+    """
+
+    __slots__ = ("requeued",)
+
+    def __init__(self, env: "Environment") -> None:
+        super().__init__(env)
+        self.requeued = False
 
 
 class Store:
@@ -164,8 +182,23 @@ class Store:
         return event
 
     def cancel(self, event: StoreGet) -> None:
-        """Withdraw a still-pending get (used on interrupt/disconnect)."""
+        """Withdraw a get (used on interrupt/timeout/disconnect).
+
+        A still-queued get is simply removed.  If the get's event has
+        *already fired* — the item was popped and attached to the event
+        — but the waiting process abandoned it before resuming (it was
+        interrupted, or lost a same-instant race against a timeout),
+        dropping the event would silently lose the item.  Instead the
+        undelivered item is returned to the *head* of the buffer so the
+        next getter receives it: no message is ever dropped by an
+        interrupt.  Only call this for a get whose value was never
+        consumed.
+        """
         try:
             self._getters.remove(event)
+            return
         except ValueError:
             pass
+        if event.triggered and event.ok and not event.requeued:
+            event.requeued = True
+            self._items.appendleft(event.value)

@@ -13,13 +13,12 @@ import pickle
 
 import pytest
 
-from repro.experiments import exp1_granularity, exp5_coherence
+from repro.experiments import exp1_granularity, exp5_coherence, exp7_faults
 from repro.experiments.config import SimulationConfig
 from repro.experiments.framework import execute
 from repro.experiments.parallel import (
     JOBS_ENV_VAR,
     ParallelExecutor,
-    RunDescriptor,
     build_descriptors,
     config_key,
     execute_descriptor,
@@ -47,6 +46,10 @@ def row_bytes(table):
                     row.error_rate,
                     row.queries,
                     row.disconnected_error_rate,
+                    row.drops,
+                    row.retries,
+                    row.timeouts,
+                    row.degraded,
                 )
             )
         )
@@ -72,6 +75,48 @@ class TestGoldenEquivalence:
         )
         serial = execute("exp5", "t", runs, jobs=1)
         parallel = execute("exp5", "t", runs, jobs=4)
+        assert row_bytes(serial) == row_bytes(parallel)
+        assert serial.rows == parallel.rows
+
+    def test_exp7_parallel_matches_serial(self):
+        """Fault draws must replay identically across worker processes.
+
+        Uses aggressive knobs (20% loss, 10 s timeout) so the fault and
+        recovery paths genuinely fire within the reduced horizon, then
+        checks the drop/retry/timeout/degraded counters bitwise.
+        """
+        runs = [
+            (
+                {"granularity": g, "retry_budget": budget},
+                SimulationConfig(
+                    granularity=g,
+                    loss_rate=0.2,
+                    request_timeout_seconds=10.0,
+                    retry_budget=budget,
+                    backoff_base_seconds=2.0,
+                    horizon_hours=EQUIVALENCE_HORIZON_HOURS,
+                ),
+            )
+            for g in ("AC", "OC", "HC")
+            for budget in (0, 2)
+        ]
+        serial = execute("exp7", "t", runs, jobs=1)
+        parallel = execute("exp7", "t", runs, jobs=4)
+        assert row_bytes(serial) == row_bytes(parallel)
+        assert serial.rows == parallel.rows
+        assert not serial.failures and not parallel.failures
+        # The sweep must actually have exercised the fault machinery.
+        assert sum(row.drops for row in serial.rows) > 0
+        assert sum(row.retries for row in serial.rows) > 0
+        assert sum(row.timeouts for row in serial.rows) > 0
+
+    def test_exp7_driver_entrypoint_matches_serial(self):
+        serial = exp7_faults.run_bursts(
+            horizon_hours=EQUIVALENCE_HORIZON_HOURS, jobs=1
+        )
+        parallel = exp7_faults.run_bursts(
+            horizon_hours=EQUIVALENCE_HORIZON_HOURS, jobs=2
+        )
         assert row_bytes(serial) == row_bytes(parallel)
         assert serial.rows == parallel.rows
 

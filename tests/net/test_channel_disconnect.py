@@ -3,7 +3,8 @@
 import pytest
 
 from repro.errors import NetworkError
-from repro.net.channel import WIRELESS_BANDWIDTH_BPS, WirelessChannel
+from repro.net.channel import WirelessChannel
+from repro.sim.process import Interrupt
 from repro.net.disconnect import DisconnectionSchedule, plan_single_windows
 from repro.net.network import Network
 from repro.sim.environment import Environment
@@ -84,6 +85,69 @@ class TestWirelessChannel:
         env.process(sender(env))
         env.run(until=4.0)
         assert channel.utilization() == pytest.approx(0.25)
+
+    def test_interrupted_transmit_is_accounted(self):
+        """An interrupt mid-airtime must not erase the spent airtime.
+
+        The original accounting updated the byte counters only after the
+        ``with`` block, so an interrupted transmission vanished from the
+        stats entirely even though it held the channel.
+        """
+        env = Environment()
+        channel = WirelessChannel(env, bandwidth_bps=8_000)  # 1 kB/s
+        outcomes = []
+
+        def sender(env):
+            try:
+                yield from channel.transmit(1000)
+                outcomes.append("done")
+            except Interrupt:
+                outcomes.append(("interrupted", env.now))
+
+        def breaker(env, victim):
+            yield env.timeout(0.25)
+            victim.interrupt()
+
+        victim = env.process(sender(env))
+        env.process(breaker(env, victim))
+        env.run(until=1.0)
+        assert outcomes == [("interrupted", 0.25)]
+        # 0.25 s of airtime at 1 kB/s = 250 bytes spent then lost.
+        assert channel.messages_aborted == 1
+        assert channel.bytes_aborted == pytest.approx(250.0)
+        assert channel.messages_carried == 0
+        assert channel.bytes_carried == 0
+        # The facility was held for those 0.25 s out of 1 s.
+        assert channel.utilization() == pytest.approx(0.25)
+
+    def test_interrupted_transmit_releases_the_channel(self):
+        env = Environment()
+        channel = WirelessChannel(env, bandwidth_bps=8_000)
+        done = []
+
+        def victim(env):
+            try:
+                yield from channel.transmit(1000)
+            except Interrupt:
+                pass
+
+        def follower(env):
+            yield env.timeout(0.1)
+            yield from channel.transmit(500)
+            done.append(env.now)
+
+        def breaker(env, target):
+            yield env.timeout(0.5)
+            target.interrupt()
+
+        target = env.process(victim(env))
+        env.process(follower(env))
+        env.process(breaker(env, target))
+        env.run()
+        # The follower starts right at the interrupt (0.5 s) + 0.5 s air.
+        assert done == [pytest.approx(1.0)]
+        assert channel.bytes_carried == 500
+        assert channel.bytes_aborted == pytest.approx(500.0)
 
 
 class TestDisconnectionSchedule:

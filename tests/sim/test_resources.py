@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import Environment, Resource, Store
+from repro.sim import Environment, Interrupt, Resource, Store
 
 
 def test_capacity_must_be_positive():
@@ -193,6 +193,31 @@ def test_store_len_counts_buffered_items():
     assert len(store) == 2
 
 
+def test_utilization_normalized_by_resource_lifetime():
+    """A facility created at t>0 must not under-report its busy share."""
+    env = Environment()
+    created = []
+
+    def late_creator(env):
+        yield env.timeout(4.0)
+        resource = Resource(env)
+        created.append(resource)
+        with resource.request() as req:
+            yield req
+            yield env.timeout(2.0)
+
+    env.process(late_creator(env))
+    env.run(until=8.0)
+    # Busy 2 s of the 4 s since creation — not 2 of 8 absolute seconds.
+    assert created[0].utilization() == pytest.approx(0.5)
+
+
+def test_utilization_zero_at_creation_instant():
+    env = Environment()
+    resource = Resource(env)
+    assert resource.utilization() == 0.0
+
+
 def test_store_cancel_removes_pending_getter():
     env = Environment()
     store = Store(env)
@@ -217,3 +242,77 @@ def test_store_cancel_removes_pending_getter():
     env.process(producer(env))
     env.run()
     assert got == ["only"]
+
+
+def test_store_cancel_requeues_fired_but_unconsumed_item():
+    """A fired-but-abandoned get must return its item to the buffer."""
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def racer(env):
+        store.put("item")
+        event = store.get()  # fires immediately: the item is attached
+        assert len(store) == 0
+        store.cancel(event)  # ...but the process abandons it
+        assert len(store) == 1
+        item = yield store.get()
+        got.append(item)
+
+    env.process(racer(env))
+    env.run()
+    assert got == ["item"]
+
+
+def test_store_cancel_requeues_at_the_head():
+    env = Environment()
+    store = Store(env)
+    store.put("first")
+    store.put("second")
+    event = store.get()  # pops "first"
+    store.cancel(event)
+    assert [store.get().value, store.get().value] == ["first", "second"]
+
+
+def test_store_double_cancel_requeues_once():
+    env = Environment()
+    store = Store(env)
+    store.put("only")
+    event = store.get()
+    store.cancel(event)
+    store.cancel(event)
+    assert len(store) == 1
+
+
+def test_store_interrupted_getter_does_not_lose_item():
+    """An item granted to a process interrupted before resuming survives."""
+    env = Environment()
+    store = Store(env)
+    got = []
+    waiters = []
+
+    def waiter(env):
+        event = store.get()
+        try:
+            item = yield event
+            got.append(("waiter", item))
+        except Interrupt:
+            store.cancel(event)
+
+    def producer_and_breaker(env):
+        yield env.timeout(1.0)
+        # The put fires the waiter's get; interrupt it the same instant,
+        # before its resumption runs (interrupts schedule URGENT).
+        store.put("payload")
+        waiters[0].interrupt()
+
+    def successor(env):
+        yield env.timeout(2.0)
+        item = yield store.get()
+        got.append(("successor", item))
+
+    waiters.append(env.process(waiter(env)))
+    env.process(producer_and_breaker(env))
+    env.process(successor(env))
+    env.run()
+    assert got == [("successor", "payload")]
