@@ -1,0 +1,98 @@
+"""Micro-benchmark: the event bus is affordable when instrumentation is off.
+
+The refactor replaced inline counter mutations with bus emissions, so
+the always-on dispatch path is now on every hot path.  This benchmark
+bounds what that costs on Experiment #1's base configuration:
+
+* the per-event *extra* cost of ``bus.emit`` over calling the metrics
+  collector directly (the pre-refactor equivalent), extrapolated to the
+  run's actual event volume, must stay under 5% of the run's wall
+  clock;
+* a guarded emit site whose event type has no subscriber must cost a
+  dict probe, not an event construction.
+"""
+
+import time
+
+from conftest import horizon
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import run_simulation
+from repro.metrics.collectors import MetricsSink
+from repro.obs.bus import EventBus
+from repro.obs.events import CacheAccess, CacheEvict
+
+#: Emissions for the micro timing loops (large enough to dwarf timer
+#: resolution, small enough to keep the benchmark quick).
+MICRO_EMITS = 200_000
+#: Overhead budget relative to the run's wall clock.
+BUDGET = 0.05
+
+
+def _time(fn, repeats=3):
+    best = float("inf")
+    for __ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_bus_off_overhead_under_budget():
+    # 1. One real run of the base configuration, instrumentation off.
+    config = SimulationConfig(horizon_hours=horizon(0.5))
+    run_started = time.perf_counter()
+    result = run_simulation(config)
+    run_seconds = time.perf_counter() - run_started
+    total_events = sum(result.event_counts.values())
+    assert total_events > 0
+
+    # 2. Per-event cost of the dispatch layer vs the direct call the
+    #    old inline-counter code would have made.
+    bus = EventBus()
+    metrics = MetricsSink.install(bus).client(0)
+    event = CacheAccess(
+        time=1.0, client_id=0, key="oid", hit=True, error=False,
+        answered=True, connected=True,
+    )
+
+    def via_bus():
+        emit = bus.emit
+        for __ in range(MICRO_EMITS):
+            emit(event)
+
+    def direct():
+        record = metrics.record_access
+        for __ in range(MICRO_EMITS):
+            record(True, False, answered=True, connected=True, now=1.0)
+
+    per_event_overhead = max(
+        0.0, (_time(via_bus) - _time(direct)) / MICRO_EMITS
+    )
+    projected = per_event_overhead * total_events
+    share = projected / run_seconds
+    print(
+        f"\nrun {run_seconds:.2f}s, {total_events} events, "
+        f"dispatch overhead {per_event_overhead * 1e9:.0f} ns/event "
+        f"-> {projected * 1e3:.1f} ms projected ({share:.2%} of run)"
+    )
+    assert share < BUDGET, (
+        f"bus dispatch projects to {share:.2%} of the run's wall clock "
+        f"(budget {BUDGET:.0%})"
+    )
+
+
+def test_guarded_emit_site_costs_a_probe_when_off():
+    bus = EventBus()
+    MetricsSink.install(bus)  # subscribes metric types, not CacheEvict
+
+    def guard_loop():
+        wants = bus.wants
+        for __ in range(MICRO_EMITS):
+            if wants(CacheEvict):  # pragma: no cover - never true here
+                raise AssertionError("no subscriber expected")
+
+    per_check = _time(guard_loop) / MICRO_EMITS
+    print(f"\nwants() miss: {per_check * 1e9:.0f} ns/check")
+    # A dict probe plus tuple truthiness; a healthy margin over any
+    # plausible interpreter, but far below event construction cost.
+    assert per_check < 2e-6

@@ -64,7 +64,8 @@ REDUCED_HORIZONS = {
 FULL_HORIZON = 96.0
 
 
-def run_experiment(name, horizon, seed, progress=True, jobs=None):
+def run_experiment(name, horizon, seed, progress=True, jobs=None,
+                   trace_dir=None):
     builders = {
         "exp1": (exp1_granularity.build_runs, "exp1",
                  exp1_granularity.TITLE),
@@ -89,6 +90,15 @@ def run_experiment(name, horizon, seed, progress=True, jobs=None):
         runs += exp7_faults.build_burst_runs(horizon, seed)
     else:
         runs = build(horizon, seed)
+    if trace_dir is not None:
+        # One JSONL trace per run, named by sweep position so a re-run
+        # with the same arguments overwrites rather than accumulates.
+        runs = [
+            (dims, cfg.replaced(
+                trace_path=str(Path(trace_dir) / f"{name}-{i:03d}.jsonl")
+            ))
+            for i, (dims, cfg) in enumerate(runs)
+        ]
     return execute(experiment_id, title, runs, progress=progress,
                    jobs=jobs)
 
@@ -137,6 +147,10 @@ def main() -> int:
                         help="worker processes (default: all cores; "
                              "results are identical at any job count)")
     parser.add_argument("--out-dir", default=str(REPO_ROOT / "results"))
+    parser.add_argument("--trace-dir", default=None,
+                        help="export one JSONL event trace per run into "
+                             "this directory (inspect with "
+                             "'repro-mobicache trace summarize')")
     args = parser.parse_args()
     jobs = resolve_jobs(os.cpu_count() if args.jobs is None else args.jobs)
 
@@ -154,6 +168,8 @@ def main() -> int:
 
     out_dir = Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
+    if args.trace_dir is not None:
+        Path(args.trace_dir).mkdir(parents=True, exist_ok=True)
     records = []
     failures = []
     rendered = [render_table1(), ""]
@@ -191,7 +207,7 @@ def main() -> int:
               file=sys.stderr, flush=True)
         experiment_started = time.time()
         table: ExperimentTable = run_experiment(
-            key, horizon, args.seed, jobs=jobs
+            key, horizon, args.seed, jobs=jobs, trace_dir=args.trace_dir
         )
         experiment_elapsed = time.time() - experiment_started
         for row in table.rows:
@@ -208,6 +224,7 @@ def main() -> int:
                     "retries": row.retries,
                     "timeouts": row.timeouts,
                     "degraded": row.degraded,
+                    "event_counts": row.event_counts,
                     "elapsed_seconds": round(row.elapsed_seconds, 3),
                 }
             )

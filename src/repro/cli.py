@@ -4,6 +4,8 @@ Examples::
 
     repro-mobicache table1
     repro-mobicache run --granularity HC --replacement ewma-0.5 --hours 8
+    repro-mobicache run --trace out.jsonl --profile --hours 2
+    repro-mobicache trace summarize out.jsonl
     repro-mobicache experiment 1 --hours 8
     repro-mobicache experiment all --hours 4
     repro-mobicache list-policies
@@ -80,6 +82,26 @@ def _build_parser() -> argparse.ArgumentParser:
     fault_group.add_argument("--backoff", type=float, default=1.0,
                              dest="backoff_base_seconds",
                              help="first retry backoff delay (seconds)")
+    obs_group = run_parser.add_argument_group("observability")
+    obs_group.add_argument("--trace", default=None, metavar="PATH",
+                           dest="trace_path",
+                           help="export every bus event as JSON lines "
+                                "to PATH (see 'trace summarize')")
+    obs_group.add_argument("--profile", action="store_true",
+                           help="print a per-subsystem wall-clock "
+                                "breakdown of the run")
+    obs_group.add_argument("--staleness-timeline", action="store_true",
+                           help="print the bucketed age-at-read series")
+
+    trace_parser = sub.add_parser(
+        "trace", help="inspect a JSONL event trace"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command",
+                                            required=True)
+    summarize_parser = trace_sub.add_parser(
+        "summarize", help="per-type event counts and time span"
+    )
+    summarize_parser.add_argument("path", help="trace file (.jsonl)")
 
     exp_parser = sub.add_parser(
         "experiment", help="run a paper experiment (1-7 or 'all')"
@@ -121,6 +143,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         request_timeout_seconds=args.request_timeout_seconds,
         retry_budget=args.retry_budget,
         backoff_base_seconds=args.backoff_base_seconds,
+        trace_path=args.trace_path,
+        profile=args.profile,
+        staleness_timeline=args.staleness_timeline,
     )
     result = run_simulation(config)
     print(f"configuration : {config.label()}")
@@ -139,7 +164,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"degraded      : {result.degraded_queries}")
         print(f"raw bytes     : {result.raw_bytes:.0f}")
         print(f"goodput bytes : {result.goodput_bytes:.0f}")
+    if config.trace_path is not None:
+        print(f"trace         : {result.trace_events} events "
+              f"-> {config.trace_path}")
+    if result.profile is not None:
+        print("wall-clock profile:")
+        for bucket, cells in result.profile.items():
+            print(f"  {bucket:<16} {cells['seconds']:>9.3f} s  "
+                  f"{cells['share']:>6.1%}  "
+                  f"({cells['calls']:.0f} callbacks)")
+    if config.staleness_timeline:
+        print("staleness timeline (age at cache read):")
+        for bucket in result.staleness:
+            print(f"  t={bucket.start:>8.0f}s reads={bucket.reads:<6d} "
+                  f"mean age={bucket.mean_age_seconds:>8.1f}s "
+                  f"max={bucket.max_age_seconds:>8.1f}s "
+                  f"stale={bucket.stale_fraction:.1%} "
+                  f"err={bucket.error_fraction:.1%}")
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.sinks import summarize_trace
+
+    if args.trace_command == "summarize":
+        summary = summarize_trace(args.path)
+        print(f"trace   : {summary['path']}")
+        print(f"events  : {summary['events']}")
+        if summary["events"]:
+            print(f"span    : {summary['first_time']:g} s .. "
+                  f"{summary['last_time']:g} s")
+        for name, count in summary["counts"].items():
+            print(f"  {name:<18} {count}")
+        return 0
+    raise SystemExit(2)
 
 
 def _run_experiment(number: str, hours: float | None, seed: int,
@@ -236,6 +294,8 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "table1":
         print(render_table1())
         return 0

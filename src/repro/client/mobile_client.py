@@ -47,8 +47,20 @@ from repro.core.invalidation import (
 from repro.core.replacement import create_policy
 from repro.core.replacement.lru import LRUPolicy
 from repro.core.storage_cache import ClientStorageCache
-from repro.metrics.collectors import ClientMetrics
+from repro.metrics.collectors import MetricsSink
 from repro.net.channel import DELIVERED
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    CacheAccess,
+    LateReply,
+    QueryComplete,
+    QueryDegraded,
+    RefreshExpired,
+    RemoteRound,
+    ReplyReceived,
+    ReplyTimeout,
+    RequestSent,
+)
 from repro.net.faults import RecoveryPolicy
 from repro.net.message import ReplyMessage, RequestMessage, UpdateValue
 from repro.net.network import Network
@@ -92,6 +104,7 @@ class MobileClient:
         ir_interval: float = DEFAULT_IR_INTERVAL,
         recovery: RecoveryPolicy | None = None,
         recovery_rng: RandomStream | None = None,
+        bus: EventBus | None = None,
     ) -> None:
         self.client_id = client_id
         self.env = env
@@ -101,7 +114,12 @@ class MobileClient:
         self.workload = workload
         self.arrivals = arrivals
         self.granularity = granularity
-        self.metrics = ClientMetrics(client_id)
+        #: Every observable moment is emitted here; a private bus (with
+        #: just the metrics sink) keeps standalone construction working.
+        self.bus = bus if bus is not None else EventBus()
+        #: Stable per-client metrics handle, owned by the bus's shared
+        #: metrics sink and updated only through events.
+        self.metrics = MetricsSink.install(self.bus).client(client_id)
         self.reply_box: Store = Store(env, name=f"client-{client_id}-replies")
 
         if granularity.uses_storage_cache:
@@ -113,7 +131,11 @@ class MobileClient:
             capacity_bytes = buffer_objects * object_size_bytes
             policy = LRUPolicy()
         self.cache = ClientStorageCache(
-            capacity_bytes, policy, name=f"client-{client_id}-cache"
+            capacity_bytes,
+            policy,
+            name=f"client-{client_id}-cache",
+            bus=self.bus,
+            client_id=client_id,
         )
         #: Cache-table cost of storing one attribute-grained entry beyond
         #: its payload: the surrogate placeholder slot, the version and
@@ -177,8 +199,15 @@ class MobileClient:
         block the query loop).
         """
         if reply.is_trailer:
-            self.metrics.bytes_received += reply.size_bytes
-            self.metrics.goodput_bytes += reply.size_bytes
+            self.bus.emit(
+                ReplyReceived(
+                    time=self.env.now,
+                    client_id=self.client_id,
+                    query_id=reply.query_id,
+                    size_bytes=reply.size_bytes,
+                    is_trailer=True,
+                )
+            )
             self._absorb(reply)
         else:
             self.reply_box.put(reply)
@@ -206,8 +235,18 @@ class MobileClient:
         self._pending_probe = None
         if probe is None:
             return
-        for __ in probe.deferred:
-            self.metrics.record_access(False, False, now=probe.recorded_at)
+        for key, __ in probe.deferred:
+            self.bus.emit(
+                CacheAccess(
+                    time=probe.recorded_at,
+                    client_id=self.client_id,
+                    key=key,
+                    hit=False,
+                    error=False,
+                    answered=True,
+                    connected=True,
+                )
+            )
 
     # ------------------------------------------------------------------
     # Query loop
@@ -275,14 +314,30 @@ class MobileClient:
             if reply is not None:
                 # The server answered: deferred miss accesses resolve to
                 # fresh values, exactly as the eager recording assumed.
-                for __ in probe.deferred:
-                    self.metrics.record_access(
-                        False, False, now=probe.recorded_at
+                for key, __ in probe.deferred:
+                    self.bus.emit(
+                        CacheAccess(
+                            time=probe.recorded_at,
+                            client_id=self.client_id,
+                            key=key,
+                            hit=False,
+                            error=False,
+                            answered=True,
+                            connected=True,
+                        )
                     )
             else:
-                yield from self._serve_degraded(probe)
+                yield from self._serve_degraded(probe, query.query_id)
 
-        self.metrics.record_query(self.env.now - issued_at, connected)
+        self.bus.emit(
+            QueryComplete(
+                time=self.env.now,
+                client_id=self.client_id,
+                query_id=query.query_id,
+                response_seconds=self.env.now - issued_at,
+                connected=connected,
+            )
+        )
 
         if reply is not None:
             write_time = self._absorb(reply)
@@ -308,11 +363,20 @@ class MobileClient:
         the retry budget.  Exhaustion degrades the query to cache-only
         answers at the caller.
         """
-        self.metrics.remote_rounds += 1
         attempts = 1 if self.recovery is None else self.recovery.max_attempts
         for attempt in range(attempts):
+            # Attempt 0 opens the round; every later attempt is a retry,
+            # counted before backoff so a round the horizon (or a
+            # scheduled disconnection) cuts mid-backoff still shows it.
+            self.bus.emit(
+                RemoteRound(
+                    time=self.env.now,
+                    client_id=self.client_id,
+                    query_id=request.query_id,
+                    attempt=attempt,
+                )
+            )
             if attempt:
-                self.metrics.retries += 1
                 delay = self.recovery.backoff_delay(
                     attempt - 1, self._backoff_rng
                 )
@@ -322,7 +386,15 @@ class MobileClient:
                     # The link's scheduled disconnection opened while
                     # backing off: no further attempt can succeed.
                     break
-            self.metrics.bytes_sent += request.size_bytes
+            self.bus.emit(
+                RequestSent(
+                    time=self.env.now,
+                    client_id=self.client_id,
+                    query_id=request.query_id,
+                    attempt=attempt,
+                    size_bytes=request.size_bytes,
+                )
+            )
             outcome = yield from self.network.uplink.transmit(
                 request.size_bytes,
                 deadline=self.network.abort_deadline(self.client_id),
@@ -333,10 +405,23 @@ class MobileClient:
             # it simply waits out the timeout before retrying.
             reply = yield from self._await_reply(request)
             if reply is not None:
-                self.metrics.bytes_received += reply.size_bytes
-                self.metrics.goodput_bytes += reply.size_bytes
+                self.bus.emit(
+                    ReplyReceived(
+                        time=self.env.now,
+                        client_id=self.client_id,
+                        query_id=reply.query_id,
+                        size_bytes=reply.size_bytes,
+                    )
+                )
                 return reply
-            self.metrics.timeouts += 1
+            self.bus.emit(
+                ReplyTimeout(
+                    time=self.env.now,
+                    client_id=self.client_id,
+                    query_id=request.query_id,
+                    attempt=attempt,
+                )
+            )
         return None
 
     def _await_reply(
@@ -356,7 +441,7 @@ class MobileClient:
                 reply = yield self.reply_box.get()
                 if reply.query_id == request.query_id:
                     return reply
-                self.metrics.late_replies += 1
+                self._note_late_reply(reply)
         deadline = self.env.now + self.recovery.timeout_seconds
         while True:
             remaining = deadline - self.env.now
@@ -372,10 +457,22 @@ class MobileClient:
             reply = fired[get_event]
             if reply.query_id == request.query_id:
                 return reply
-            self.metrics.late_replies += 1
+            self._note_late_reply(reply)
+
+    def _note_late_reply(self, reply: ReplyMessage) -> None:
+        """A reply for an abandoned attempt arrived: counted, discarded
+        unread (its bytes never enter ``bytes_received``/goodput)."""
+        self.bus.emit(
+            LateReply(
+                time=self.env.now,
+                client_id=self.client_id,
+                query_id=reply.query_id,
+                size_bytes=reply.size_bytes,
+            )
+        )
 
     def _serve_degraded(
-        self, probe: "_ProbeResult"
+        self, probe: "_ProbeResult", query_id: int
     ) -> t.Generator[t.Any, t.Any, None]:
         """Answer a failed remote round from the cache alone.
 
@@ -395,18 +492,42 @@ class MobileClient:
                 is_error = ErrorOracle.is_stale(
                     entry.version, self.server.current_version(*key)
                 )
-                self.metrics.record_access(
-                    False, is_error, now=probe.recorded_at
+                self.bus.emit(
+                    CacheAccess(
+                        time=probe.recorded_at,
+                        client_id=self.client_id,
+                        key=key,
+                        hit=False,
+                        error=is_error,
+                        answered=True,
+                        connected=True,
+                        stale_served=True,
+                        age_seconds=max(
+                            0.0, self.env.now - entry.fetched_at
+                        ),
+                    )
                 )
-                self.metrics.stale_served_accesses += 1
             else:
-                self.metrics.record_access(
-                    False, False, answered=False, now=probe.recorded_at
+                self.bus.emit(
+                    CacheAccess(
+                        time=probe.recorded_at,
+                        client_id=self.client_id,
+                        key=key,
+                        hit=False,
+                        error=False,
+                        answered=False,
+                        connected=True,
+                    )
                 )
-                self.metrics.unanswered_accesses += 1
-        self.metrics.degraded_queries += 1
-        self.metrics.lost_updates += sum(
-            len(changes) for changes in probe.updates.values()
+        self.bus.emit(
+            QueryDegraded(
+                time=self.env.now,
+                client_id=self.client_id,
+                query_id=query_id,
+                lost_updates=sum(
+                    len(changes) for changes in probe.updates.values()
+                ),
+            )
         )
         if read_time > 0:
             yield self.env.timeout(read_time)
@@ -434,6 +555,21 @@ class MobileClient:
             valid = entry is not None and entry.is_valid(now)
             attr_size = self._attribute_size(access.oid, access.attribute)
 
+            if (
+                entry is not None
+                and not valid
+                and self.bus.wants(RefreshExpired)
+            ):
+                self.bus.emit(
+                    RefreshExpired(
+                        time=now,
+                        client_id=self.client_id,
+                        key=key,
+                        age_seconds=now - entry.fetched_at,
+                        expired_for_seconds=now - entry.expires_at,
+                    )
+                )
+
             if valid:
                 result.local_read_time += self.local_storage.access(
                     access.oid, attr_size
@@ -442,8 +578,17 @@ class MobileClient:
                 is_error = ErrorOracle.is_stale(
                     entry.version, self.server.current_version(*key)
                 )
-                self.metrics.record_access(
-                    True, is_error, connected=connected, now=now
+                self.bus.emit(
+                    CacheAccess(
+                        time=now,
+                        client_id=self.client_id,
+                        key=key,
+                        hit=True,
+                        error=is_error,
+                        answered=True,
+                        connected=connected,
+                        age_seconds=now - entry.fetched_at,
+                    )
                 )
                 if (
                     connected
@@ -456,7 +601,17 @@ class MobileClient:
                 if defer:
                     result.deferred.append((key, attr_size))
                 else:
-                    self.metrics.record_access(False, False, now=now)
+                    self.bus.emit(
+                        CacheAccess(
+                            time=now,
+                            client_id=self.client_id,
+                            key=key,
+                            hit=False,
+                            error=False,
+                            answered=True,
+                            connected=True,
+                        )
+                    )
                 self._add_needed(result, seen_needed, key)
             elif entry is not None:
                 # Disconnected: use the expired entry anyway.
@@ -467,15 +622,31 @@ class MobileClient:
                 is_error = ErrorOracle.is_stale(
                     entry.version, self.server.current_version(*key)
                 )
-                self.metrics.record_access(
-                    False, is_error, connected=False, now=now
+                self.bus.emit(
+                    CacheAccess(
+                        time=now,
+                        client_id=self.client_id,
+                        key=key,
+                        hit=False,
+                        error=is_error,
+                        answered=True,
+                        connected=False,
+                        stale_served=True,
+                        age_seconds=now - entry.fetched_at,
+                    )
                 )
-                self.metrics.stale_served_accesses += 1
             else:
-                self.metrics.record_access(
-                    False, False, answered=False, connected=False, now=now
+                self.bus.emit(
+                    CacheAccess(
+                        time=now,
+                        client_id=self.client_id,
+                        key=key,
+                        hit=False,
+                        error=False,
+                        answered=False,
+                        connected=False,
+                    )
                 )
-                self.metrics.unanswered_accesses += 1
 
             update_id = (access.oid, access.attribute)
             if (

@@ -32,6 +32,12 @@ class ReplacementPolicy(abc.ABC):
     #: Registry name, e.g. ``"lru"``; set by subclasses.
     name: str = "abstract"
 
+    #: Numeric rank of the most recent eviction victim, for policies
+    #: that score candidates (the duration schemes, EWMA); ``None`` for
+    #: recency/frequency policies without a meaningful number.  Read by
+    #: the cache's :class:`~repro.obs.events.CacheEvict` emission.
+    last_eviction_score: float | None = None
+
     @abc.abstractmethod
     def on_admit(self, key: CacheKey, now: float) -> None:
         """A new key was inserted (it must not already be resident)."""

@@ -107,11 +107,13 @@ class DurationScoredPolicy(ReplacementPolicy):
                 key = self._scored.pop_min()
                 del self._last_access[key]
                 self._drop_state(key)
+                self.last_eviction_score = -negated
                 return key
         assert young_key is not None
         del self._young[young_key]
         del self._last_access[young_key]
         self._drop_state(young_key)
+        self.last_eviction_score = young_score
         return young_key
 
     def estimate(self, key: CacheKey, now: float) -> float:
@@ -347,6 +349,7 @@ class EWMAPolicy(ReplacementPolicy):
         assert best_key is not None
         self._detach(best_key)
         del self._state[best_key]
+        self.last_eviction_score = best_rank
         return best_key
 
     def mean_duration(self, key: CacheKey) -> float:

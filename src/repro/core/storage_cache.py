@@ -14,6 +14,8 @@ from repro.core.entry import CacheEntry
 from repro.core.granularity import CacheKey
 from repro.core.replacement.base import ReplacementPolicy
 from repro.errors import CacheError
+from repro.obs.bus import EventBus
+from repro.obs.events import CacheAdmit, CacheEvict
 
 
 class ClientStorageCache:
@@ -24,6 +26,8 @@ class ClientStorageCache:
         capacity_bytes: int,
         policy: ReplacementPolicy,
         name: str = "storage-cache",
+        bus: EventBus | None = None,
+        client_id: int = -1,
     ) -> None:
         if capacity_bytes <= 0:
             raise CacheError(
@@ -32,6 +36,8 @@ class ClientStorageCache:
         self.capacity_bytes = int(capacity_bytes)
         self.policy = policy
         self.name = name
+        self.bus = bus if bus is not None else EventBus()
+        self.client_id = client_id
         self._entries: dict[CacheKey, CacheEntry] = {}
         self.used_bytes = 0
         self.admissions = 0
@@ -86,12 +92,24 @@ class ClientStorageCache:
                 f"({self.capacity_bytes}B)"
             )
         evicted: list[CacheKey] = []
+        trace_evicts = self.bus.wants(CacheEvict)
         while self.used_bytes + size_bytes > self.capacity_bytes:
             victim = self.policy.evict(now)
             victim_entry = self._entries.pop(victim)
             self.used_bytes -= victim_entry.size_bytes
             self.evictions += 1
             evicted.append(victim)
+            if trace_evicts:
+                self.bus.emit(
+                    CacheEvict(
+                        time=now,
+                        client_id=self.client_id,
+                        cache=self.name,
+                        key=victim,
+                        size_bytes=victim_entry.size_bytes,
+                        score=self.policy.last_eviction_score,
+                    )
+                )
         entry = CacheEntry(
             key=key,
             value=value,
@@ -104,6 +122,17 @@ class ClientStorageCache:
         self.used_bytes += size_bytes
         self.policy.on_admit(key, now)
         self.admissions += 1
+        if self.bus.wants(CacheAdmit):
+            self.bus.emit(
+                CacheAdmit(
+                    time=now,
+                    client_id=self.client_id,
+                    cache=self.name,
+                    key=key,
+                    size_bytes=size_bytes,
+                    evictions=len(evicted),
+                )
+            )
         return evicted
 
     def invalidate(self, key: CacheKey) -> bool:

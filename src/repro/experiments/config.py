@@ -105,6 +105,18 @@ class SimulationConfig:
     #: Uniform jitter fraction added on top of each backoff delay.
     backoff_jitter: float = 0.5
 
+    # -- observability (all off by default: strict no-op) -----------------
+    #: Write every bus event as one JSON line to this path (None = off).
+    trace_path: "str | None" = None
+    #: Encoded events buffered in memory before a trace-file flush.
+    trace_buffer_events: int = 1000
+    #: Attach the wall-clock profiler to the kernel's step loop.
+    profile: bool = False
+    #: Collect the per-bucket age-at-read series (exp5/exp6 dynamics).
+    staleness_timeline: bool = False
+    #: Bucket width of the staleness timeline (simulated seconds).
+    staleness_bucket_seconds: float = 1800.0
+
     # -- run control -------------------------------------------------------
     horizon_hours: float = 96.0
     seed: int = 42
@@ -237,6 +249,16 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"backoff jitter must lie in [0, 1], got "
                 f"{self.backoff_jitter!r}"
+            )
+        if self.trace_buffer_events < 1:
+            raise ConfigurationError(
+                f"trace buffer must be >= 1 events, got "
+                f"{self.trace_buffer_events!r}"
+            )
+        if self.staleness_bucket_seconds <= 0:
+            raise ConfigurationError(
+                f"staleness bucket width must be positive, got "
+                f"{self.staleness_bucket_seconds!r}"
             )
 
     # ------------------------------------------------------------------

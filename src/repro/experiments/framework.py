@@ -54,6 +54,9 @@ class ExperimentRow:
     retries: int = 0
     timeouts: int = 0
     degraded: int = 0
+    #: Per-type bus-event tally of the run (deterministic for a given
+    #: config, so serial and parallel sweeps must agree exactly).
+    event_counts: dict[str, int] = dataclasses.field(default_factory=dict)
     #: Wall-clock cost of the run (not a simulation output; excluded
     #: from result-equivalence comparisons).
     elapsed_seconds: float = dataclasses.field(default=0.0, compare=False)
@@ -108,6 +111,19 @@ class ExperimentTable:
             seen.setdefault(row.dims.get(name), None)
         return list(seen)
 
+    def merged_event_counts(self) -> dict[str, int]:
+        """Per-type event totals across all rows, in declaration order.
+
+        Rows come back in declaration order regardless of worker count
+        (the PR-1 determinism contract), so this merge is identical for
+        serial and parallel execution of the same run list.
+        """
+        merged: dict[str, int] = {}
+        for row in self.rows:
+            for name, count in row.event_counts.items():
+                merged[name] = merged.get(name, 0) + count
+        return merged
+
 
 RunSpec = tuple[dict[str, t.Any], SimulationConfig]
 
@@ -159,6 +175,7 @@ def execute(
                 retries=result.retries,
                 timeouts=result.timeouts,
                 degraded=result.degraded_queries,
+                event_counts=dict(result.event_counts),
                 elapsed_seconds=outcome.elapsed_seconds,
             )
         )

@@ -9,10 +9,13 @@ from repro.core.granularity import CachingGranularity
 from repro.core.prefetch import AttributeAccessTracker
 from repro.errors import ConfigurationError
 from repro.experiments.config import SimulationConfig
-from repro.metrics.collectors import MetricsSummary
+from repro.metrics.collectors import MetricsSink, MetricsSummary
 from repro.net.disconnect import DisconnectionSchedule, plan_single_windows
 from repro.net.faults import FaultConfig, RecoveryPolicy
 from repro.net.network import Network
+from repro.obs.bus import EventBus
+from repro.obs.profiler import WallClockProfiler
+from repro.obs.sinks import StalenessBucket, StalenessTimeline, TraceSink
 from repro.oodb.database import Database, build_default_database
 from repro.oodb.query import QueryKind
 from repro.oodb.server import DatabaseServer
@@ -54,6 +57,21 @@ class SimulationResult:
     raw_bytes: float = 0.0
     #: Bytes of messages that actually reached their receiver.
     goodput_bytes: float = 0.0
+    # -- observability ---------------------------------------------------
+    #: Events emitted on the run's bus, per type name (deterministic for
+    #: a given config and sink set).
+    event_counts: dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Per-subsystem wall-clock breakdown when profiling was on (not a
+    #: simulation output; excluded from result-equivalence comparisons).
+    profile: "dict[str, dict[str, float]] | None" = dataclasses.field(
+        default=None, compare=False
+    )
+    #: Bucketed age-at-read series when the staleness timeline was on.
+    staleness: list[StalenessBucket] = dataclasses.field(
+        default_factory=list
+    )
+    #: JSONL trace lines written when tracing was on.
+    trace_events: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -79,6 +97,23 @@ class Simulation:
         config.validate()
         self.config = config
         self.env = Environment()
+        #: One bus per run: every layer publishes here, every sink
+        #: subscribes here.  The metrics sink is installed first so the
+        #: headline numbers never depend on optional sink order.
+        self.bus = EventBus()
+        MetricsSink.install(self.bus)
+        self.trace_sink: TraceSink | None = None
+        if config.trace_path is not None:
+            self.trace_sink = TraceSink(
+                config.trace_path, config.trace_buffer_events
+            ).attach(self.bus)
+        self.staleness_sink: StalenessTimeline | None = None
+        if config.staleness_timeline:
+            self.staleness_sink = StalenessTimeline(
+                config.staleness_bucket_seconds
+            ).attach(self.bus)
+        if config.profile:
+            self.env.profiler = WallClockProfiler()
         root_rng = RandomStream(config.seed, label="root")
 
         self.database: Database = build_default_database(
@@ -108,6 +143,7 @@ class Simulation:
             schedule=schedule,
             faults=faults,
             fault_rng=root_rng.fork("faults") if faults else None,
+            bus=self.bus,
         )
         tracker = AttributeAccessTracker(
             k_sigma=config.prefetch_k_sigma,
@@ -177,6 +213,7 @@ class Simulation:
                 recovery_rng=(
                     client_rng.fork("recovery") if recovery else None
                 ),
+                bus=self.bus,
             )
             client.local_storage.disk.bandwidth_bps = config.disk_bps
             client.local_storage.memory.bandwidth_bps = config.memory_bps
@@ -233,13 +270,20 @@ class Simulation:
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Run to the configured horizon and summarise."""
-        self.server.start()
-        for client in self.clients:
-            client.start()
-        self.env.run(until=self.config.horizon_seconds)
-        for client in self.clients:
-            client.finalize_metrics()
+        try:
+            self.server.start()
+            for client in self.clients:
+                client.start()
+            self.env.run(until=self.config.horizon_seconds)
+            for client in self.clients:
+                client.finalize_metrics()
+        finally:
+            # Flush the trace tail even when the run dies mid-flight —
+            # a partial trace of a crashed run is exactly what you want.
+            if self.trace_sink is not None:
+                self.trace_sink.close()
         summary = MetricsSummary([c.metrics for c in self.clients])
+        profiler = self.env.profiler
         return SimulationResult(
             config=self.config,
             summary=summary,
@@ -255,6 +299,18 @@ class Simulation:
             degraded_queries=summary.total_degraded_queries,
             raw_bytes=self.network.raw_bytes,
             goodput_bytes=self.network.goodput_bytes,
+            event_counts=dict(self.bus.counts),
+            profile=profiler.snapshot() if profiler is not None else None,
+            staleness=(
+                self.staleness_sink.series()
+                if self.staleness_sink is not None
+                else []
+            ),
+            trace_events=(
+                self.trace_sink.events_written
+                if self.trace_sink is not None
+                else 0
+            ),
         )
 
 

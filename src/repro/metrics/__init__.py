@@ -1,6 +1,17 @@
 """Metrics: the paper's hit-ratio / response-time / error-rate triple."""
 
-from repro.metrics.collectors import ClientMetrics, MetricsSummary, SummaryRow
+from repro.metrics.collectors import (
+    ClientMetrics,
+    MetricsSink,
+    MetricsSummary,
+    SummaryRow,
+)
 from repro.metrics.timeseries import BucketedRatio
 
-__all__ = ["BucketedRatio", "ClientMetrics", "MetricsSummary", "SummaryRow"]
+__all__ = [
+    "BucketedRatio",
+    "ClientMetrics",
+    "MetricsSink",
+    "MetricsSummary",
+    "SummaryRow",
+]

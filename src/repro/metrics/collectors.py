@@ -18,6 +18,17 @@ from __future__ import annotations
 import dataclasses
 
 from repro.metrics.timeseries import BucketedRatio
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    CacheAccess,
+    LateReply,
+    QueryComplete,
+    QueryDegraded,
+    RemoteRound,
+    ReplyReceived,
+    ReplyTimeout,
+    RequestSent,
+)
 from repro.sim.monitor import RatioCounter, Tally
 
 #: Bucket width of the per-client hit-ratio time series (seconds).
@@ -93,6 +104,102 @@ class ClientMetrics:
         self.response.record(response_time)
         if not connected:
             self.disconnected_queries += 1
+
+
+class MetricsSink:
+    """The bus subscriber that builds every :class:`ClientMetrics`.
+
+    Domain code emits events; this sink folds them into the same
+    counters the pre-bus code mutated inline, reproducing the headline
+    numbers exactly (the mapping below mirrors the old call sites one
+    to one).  One sink is shared per bus — :meth:`install` registers it
+    under ``bus.sinks["metrics"]`` and is idempotent — and each client
+    keeps a stable handle to its :class:`ClientMetrics` via
+    :meth:`client`.
+    """
+
+    SINK_NAME = "metrics"
+
+    def __init__(self) -> None:
+        self._clients: dict[int, ClientMetrics] = {}
+
+    def __repr__(self) -> str:
+        return f"<MetricsSink clients={len(self._clients)}>"
+
+    @classmethod
+    def install(cls, bus: EventBus) -> "MetricsSink":
+        """The bus's shared metrics sink, subscribing it on first use."""
+        existing = bus.sinks.get(cls.SINK_NAME)
+        if isinstance(existing, cls):
+            return existing
+        sink = cls()
+        bus.sinks[cls.SINK_NAME] = sink
+        bus.subscribe(CacheAccess, sink.on_access)
+        bus.subscribe(QueryComplete, sink.on_query_complete)
+        bus.subscribe(QueryDegraded, sink.on_query_degraded)
+        bus.subscribe(RemoteRound, sink.on_remote_round)
+        bus.subscribe(RequestSent, sink.on_request_sent)
+        bus.subscribe(ReplyTimeout, sink.on_reply_timeout)
+        bus.subscribe(LateReply, sink.on_late_reply)
+        bus.subscribe(ReplyReceived, sink.on_reply_received)
+        return sink
+
+    def client(self, client_id: int) -> ClientMetrics:
+        """The (stable) per-client metrics object, created on demand."""
+        metrics = self._clients.get(client_id)
+        if metrics is None:
+            metrics = ClientMetrics(client_id)
+            self._clients[client_id] = metrics
+        return metrics
+
+    # -- handlers -------------------------------------------------------
+    def on_access(self, event: CacheAccess) -> None:
+        metrics = self.client(event.client_id)
+        metrics.record_access(
+            event.hit,
+            event.error,
+            answered=event.answered,
+            connected=event.connected,
+            now=event.time,
+        )
+        if event.stale_served:
+            metrics.stale_served_accesses += 1
+        if not event.answered:
+            metrics.unanswered_accesses += 1
+
+    def on_query_complete(self, event: QueryComplete) -> None:
+        self.client(event.client_id).record_query(
+            event.response_seconds, event.connected
+        )
+
+    def on_query_degraded(self, event: QueryDegraded) -> None:
+        metrics = self.client(event.client_id)
+        metrics.degraded_queries += 1
+        metrics.lost_updates += event.lost_updates
+
+    def on_remote_round(self, event: RemoteRound) -> None:
+        # Attempt 0 opens the round; every later attempt is a retry.
+        metrics = self.client(event.client_id)
+        if event.attempt == 0:
+            metrics.remote_rounds += 1
+        else:
+            metrics.retries += 1
+
+    def on_request_sent(self, event: RequestSent) -> None:
+        self.client(event.client_id).bytes_sent += event.size_bytes
+
+    def on_reply_timeout(self, event: ReplyTimeout) -> None:
+        self.client(event.client_id).timeouts += 1
+
+    def on_late_reply(self, event: LateReply) -> None:
+        # Late replies are discarded unread: counted, but their bytes
+        # never enter bytes_received/goodput (matching the old path).
+        self.client(event.client_id).late_replies += 1
+
+    def on_reply_received(self, event: ReplyReceived) -> None:
+        metrics = self.client(event.client_id)
+        metrics.bytes_received += event.size_bytes
+        metrics.goodput_bytes += event.size_bytes
 
 
 @dataclasses.dataclass

@@ -31,6 +31,8 @@ class BucketedRatio:
         )
 
     def record(self, now: float, success: bool) -> None:
+        if now < 0:
+            raise ValueError(f"negative sample time: {now!r}")
         bucket = int(now // self.bucket_seconds)
         self._totals[bucket] = self._totals.get(bucket, 0) + 1
         if success:
@@ -59,7 +61,10 @@ class BucketedRatio:
     def merge(self, other: "BucketedRatio") -> None:
         """Fold another series (same bucket width) into this one."""
         if other.bucket_seconds != self.bucket_seconds:
-            raise ValueError("bucket widths differ")
+            raise ValueError(
+                f"cannot merge series with different bucket widths: "
+                f"{self.bucket_seconds:g}s vs {other.bucket_seconds:g}s"
+            )
         for bucket, count in other._totals.items():
             self._totals[bucket] = self._totals.get(bucket, 0) + count
         for bucket, count in other._hits.items():

@@ -29,16 +29,63 @@ import typing as t
 from repro._units import KBPS, transmission_time
 from repro.errors import NetworkError
 from repro.net.faults import FaultInjector
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    OUTCOME_ABORTED,
+    OUTCOME_DELIVERED,
+    TransmitOutcome,
+)
 from repro.sim.environment import Environment
 from repro.sim.resources import Resource
 
 #: The paper's wireless bandwidth per channel.
 WIRELESS_BANDWIDTH_BPS = 19.2 * KBPS
 
-#: Transmission outcomes returned by :meth:`WirelessChannel.transmit`.
+#: Transmission outcomes returned by :meth:`WirelessChannel.transmit`
+#: (shared with :mod:`repro.obs.events`' TransmitOutcome.outcome).
 DELIVERED = "delivered"
 DROPPED = "dropped"
 ABORTED = "aborted"
+
+
+class ChannelStats:
+    """One channel's byte/message accounting, fed by bus events.
+
+    The channel no longer mutates counters inline: every transmission
+    exit emits a :class:`TransmitOutcome` and this subscriber folds it
+    into the same tallies the pre-bus code kept (events for other
+    channels on the shared bus are filtered out by name).
+    """
+
+    def __init__(self, channel: str) -> None:
+        self.channel = channel
+        #: Bytes whose airtime completed (delivered *or* corrupted).
+        self.bytes_carried = 0.0
+        self.messages_carried = 0
+        #: Goodput: bytes of messages that actually reached the receiver.
+        self.bytes_delivered = 0.0
+        self.messages_dropped = 0
+        #: Partial airtime of transmissions cut mid-air.
+        self.bytes_aborted = 0.0
+        self.messages_aborted = 0
+
+    def attach(self, bus: EventBus) -> "ChannelStats":
+        bus.subscribe(TransmitOutcome, self.on_outcome)
+        return self
+
+    def on_outcome(self, event: TransmitOutcome) -> None:
+        if event.channel != self.channel:
+            return
+        if event.outcome == OUTCOME_ABORTED:
+            self.messages_aborted += 1
+            self.bytes_aborted += event.bytes_on_air
+            return
+        self.bytes_carried += event.size_bytes
+        self.messages_carried += 1
+        if event.outcome == OUTCOME_DELIVERED:
+            self.bytes_delivered += event.size_bytes
+        else:
+            self.messages_dropped += 1
 
 
 class WirelessChannel:
@@ -50,6 +97,7 @@ class WirelessChannel:
         bandwidth_bps: float = WIRELESS_BANDWIDTH_BPS,
         name: str = "channel",
         injector: FaultInjector | None = None,
+        bus: EventBus | None = None,
     ) -> None:
         if bandwidth_bps <= 0:
             raise NetworkError(
@@ -59,22 +107,40 @@ class WirelessChannel:
         self.bandwidth_bps = float(bandwidth_bps)
         self.name = name
         self.injector = injector
-        self._facility = Resource(env, capacity=1, name=name)
-        #: Bytes whose airtime completed (delivered *or* corrupted).
-        self.bytes_carried = 0.0
-        self.messages_carried = 0
-        #: Goodput: bytes of messages that actually reached the receiver.
-        self.bytes_delivered = 0.0
-        self.messages_dropped = 0
-        #: Partial airtime of transmissions cut mid-air.
-        self.bytes_aborted = 0.0
-        self.messages_aborted = 0
+        self.bus = bus if bus is not None else EventBus()
+        self.stats = ChannelStats(name).attach(self.bus)
+        self._facility = Resource(env, capacity=1, name=name, bus=self.bus)
 
     def __repr__(self) -> str:
         return (
             f"<WirelessChannel {self.name!r} {self.bandwidth_bps:g} bps "
             f"queued={self.queue_length}>"
         )
+
+    # -- accounting views (delegating to the bus-fed stats) -------------
+    @property
+    def bytes_carried(self) -> float:
+        return self.stats.bytes_carried
+
+    @property
+    def messages_carried(self) -> int:
+        return self.stats.messages_carried
+
+    @property
+    def bytes_delivered(self) -> float:
+        return self.stats.bytes_delivered
+
+    @property
+    def messages_dropped(self) -> int:
+        return self.stats.messages_dropped
+
+    @property
+    def bytes_aborted(self) -> float:
+        return self.stats.bytes_aborted
+
+    @property
+    def messages_aborted(self) -> int:
+        return self.stats.messages_aborted
 
     @property
     def queue_length(self) -> int:
@@ -120,23 +186,40 @@ class WirelessChannel:
                 # the partial transmission does not vanish from stats.
                 self._account_abort(size_bytes, airtime, started)
                 raise
-            self.bytes_carried += size_bytes
-            self.messages_carried += 1
-            if self.injector is not None and self.injector.should_drop(
+            dropped = self.injector is not None and self.injector.should_drop(
                 self.env.now, size_bytes
-            ):
-                self.messages_dropped += 1
+            )
+            self.bus.emit(
+                TransmitOutcome(
+                    time=self.env.now,
+                    channel=self.name,
+                    outcome=DROPPED if dropped else DELIVERED,
+                    size_bytes=size_bytes,
+                    bytes_on_air=size_bytes,
+                    airtime_seconds=airtime,
+                )
+            )
+            if dropped:
                 return DROPPED
-            self.bytes_delivered += size_bytes
         return DELIVERED
 
     def _account_abort(
         self, size_bytes: float, airtime: float, started: float
     ) -> None:
-        if airtime > 0:
-            elapsed = self.env.now - started
-            self.bytes_aborted += size_bytes * (elapsed / airtime)
-        self.messages_aborted += 1
+        elapsed = self.env.now - started
+        bytes_on_air = (
+            size_bytes * (elapsed / airtime) if airtime > 0 else 0.0
+        )
+        self.bus.emit(
+            TransmitOutcome(
+                time=self.env.now,
+                channel=self.name,
+                outcome=ABORTED,
+                size_bytes=size_bytes,
+                bytes_on_air=bytes_on_air,
+                airtime_seconds=elapsed,
+            )
+        )
         if self.injector is not None:
             self.injector.note_abort(self.env.now, size_bytes)
 

@@ -38,17 +38,37 @@ import dataclasses
 import typing as t
 
 from repro.errors import NetworkError
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    KIND_ABORT,
+    KIND_BURST_ENTER,
+    KIND_BURST_EXIT,
+    KIND_DROP,
+    FaultEvent,
+)
 from repro.sim.rand import RandomStream
 
 #: Gilbert–Elliott channel states.
 GOOD = "good"
 BAD = "bad"
 
-#: Fault-trace event kinds.
-KIND_DROP = "drop"
-KIND_ABORT = "abort"
-KIND_BURST_ENTER = "burst-enter"
-KIND_BURST_EXIT = "burst-exit"
+#: Re-exported for existing importers; the event type and its kind
+#: constants now live in :mod:`repro.obs.events` so the fault trace is
+#: just another bus event stream.
+__all__ = [
+    "BAD",
+    "DEFAULT_TRACE_LIMIT",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "GOOD",
+    "KIND_ABORT",
+    "KIND_BURST_ENTER",
+    "KIND_BURST_EXIT",
+    "KIND_DROP",
+    "RecoveryPolicy",
+    "merged_trace",
+]
 
 #: Default cap on the recorded trace (counters keep counting past it).
 DEFAULT_TRACE_LIMIT = 100_000
@@ -57,16 +77,6 @@ DEFAULT_TRACE_LIMIT = 100_000
 def _check_probability(name: str, value: float) -> None:
     if not 0.0 <= value <= 1.0:
         raise NetworkError(f"{name} must lie in [0, 1], got {value!r}")
-
-
-@dataclasses.dataclass(frozen=True)
-class FaultEvent:
-    """One recorded fault: what happened, when, to how many bytes."""
-
-    time: float
-    channel: str
-    kind: str
-    size_bytes: float
 
 
 @dataclasses.dataclass(frozen=True)
@@ -126,11 +136,16 @@ class FaultInjector:
         rng: RandomStream,
         channel: str = "channel",
         trace_limit: int = DEFAULT_TRACE_LIMIT,
+        bus: EventBus | None = None,
     ) -> None:
         self.config = config
         self.rng = rng
         self.channel = channel
         self.trace_limit = int(trace_limit)
+        #: Fault events are published here (for the JSONL trace sink and
+        #: anything else listening) *and* kept in the bounded local
+        #: ``trace`` list the PR-2 API exposed.
+        self.bus = bus if bus is not None else EventBus()
         self.state = GOOD
         self.trace: list[FaultEvent] = []
         # Counters (kept past the trace cap).
@@ -147,15 +162,15 @@ class FaultInjector:
         )
 
     def _record(self, kind: str, now: float, size_bytes: float) -> None:
+        event = FaultEvent(
+            time=now,
+            channel=self.channel,
+            kind=kind,
+            size_bytes=size_bytes,
+        )
+        self.bus.emit(event)
         if len(self.trace) < self.trace_limit:
-            self.trace.append(
-                FaultEvent(
-                    time=now,
-                    channel=self.channel,
-                    kind=kind,
-                    size_bytes=size_bytes,
-                )
-            )
+            self.trace.append(event)
 
     def _advance_chain(self, now: float) -> None:
         if self.state == GOOD:

@@ -21,6 +21,7 @@ from repro.net.faults import (
     FaultInjector,
     merged_trace,
 )
+from repro.obs.bus import EventBus
 from repro.sim.environment import Environment
 from repro.sim.rand import RandomStream
 
@@ -39,8 +40,10 @@ class Network:
         schedule: DisconnectionSchedule | None = None,
         faults: FaultConfig | None = None,
         fault_rng: RandomStream | None = None,
+        bus: EventBus | None = None,
     ) -> None:
         self.env = env
+        self.bus = bus if bus is not None else EventBus()
         self.faults = faults if faults is not None and faults.enabled else None
         if self.faults is not None and fault_rng is None:
             raise NetworkError(
@@ -51,12 +54,14 @@ class Network:
             bandwidth_bps,
             name="uplink",
             injector=self._injector(fault_rng, "uplink"),
+            bus=self.bus,
         )
         self.downlink = WirelessChannel(
             env,
             bandwidth_bps,
             name="downlink",
             injector=self._injector(fault_rng, "downlink"),
+            bus=self.bus,
         )
         #: Broadcast channel used by the invalidation-report coherence
         #: baseline; idle under the paper's refresh-time scheme.
@@ -65,6 +70,7 @@ class Network:
             bandwidth_bps,
             name="broadcast",
             injector=self._injector(fault_rng, "broadcast"),
+            bus=self.bus,
         )
         self.schedule = schedule or DisconnectionSchedule()
 
@@ -75,7 +81,10 @@ class Network:
             return None
         assert fault_rng is not None
         return FaultInjector(
-            self.faults, fault_rng.fork(channel), channel=channel
+            self.faults,
+            fault_rng.fork(channel),
+            channel=channel,
+            bus=self.bus,
         )
 
     def __repr__(self) -> str:

@@ -1,0 +1,269 @@
+"""The typed event taxonomy of the instrumentation spine.
+
+Every observable moment in a simulation is one frozen dataclass emitted
+on the run's :class:`~repro.obs.bus.EventBus`.  Domain code constructs
+an event and emits it; it never touches a metrics object.  Sinks — the
+metric collectors, the JSONL trace writer, the staleness timeline —
+subscribe to the types they care about.
+
+Two emission disciplines keep the bus cheap:
+
+* **always-on events** feed the headline metrics, so they are emitted
+  unconditionally: :class:`CacheAccess`, :class:`QueryComplete`,
+  :class:`QueryDegraded`, :class:`RemoteRound`, :class:`RequestSent`,
+  :class:`ReplyTimeout`, :class:`LateReply`, :class:`ReplyReceived`,
+  :class:`TransmitOutcome`, :class:`FaultEvent`;
+* **guarded events** exist purely for tracing/profiling and are only
+  constructed when a subscriber asked for them (the emit site checks
+  ``bus.wants(EventType)`` first): :class:`CacheAdmit`,
+  :class:`CacheEvict`, :class:`RefreshExpired`, :class:`RequestServed`,
+  :class:`ResourceWait`.
+
+All fields are JSON-representable scalars or cache keys (which the
+trace sink stringifies), so every event round-trips through the JSONL
+trace export.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+#: A cache key as the domain uses it: ``(OID, attribute-or-None)``.
+#: Typed loosely here so :mod:`repro.obs` stays a leaf package with no
+#: imports from the domain layers above it.
+KeyLike = t.Any
+
+#: :attr:`TransmitOutcome.outcome` values (mirrors repro.net.channel).
+OUTCOME_DELIVERED = "delivered"
+OUTCOME_DROPPED = "dropped"
+OUTCOME_ABORTED = "aborted"
+
+#: :attr:`FaultEvent.kind` values (mirrors repro.net.faults).
+KIND_DROP = "drop"
+KIND_ABORT = "abort"
+KIND_BURST_ENTER = "burst-enter"
+KIND_BURST_EXIT = "burst-exit"
+
+
+@dataclasses.dataclass(frozen=True)
+class SimEvent:
+    """Base of every bus event: the simulated instant it happened."""
+
+    time: float
+
+
+# ----------------------------------------------------------------------
+# Client cache dynamics
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class CacheAccess(SimEvent):
+    """One attribute access resolved by the client (always-on).
+
+    ``answered`` is ``False`` for reads that returned no value at all
+    (uncached items while cut off from the server); they count as
+    misses but stay out of the error denominator.  ``stale_served``
+    marks reads served from an *expired* cached entry (disconnection or
+    degraded-mode serving).  ``age_seconds`` is the served entry's age
+    at read time (``None`` when no entry was consulted), which is what
+    the staleness-timeline sink aggregates.
+    """
+
+    client_id: int
+    key: KeyLike
+    hit: bool
+    error: bool
+    answered: bool
+    connected: bool
+    stale_served: bool = False
+    age_seconds: "float | None" = None
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheAdmit(SimEvent):
+    """A new entry entered a storage cache (guarded)."""
+
+    client_id: int
+    cache: str
+    key: KeyLike
+    size_bytes: int
+    evictions: int
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheEvict(SimEvent):
+    """A replacement policy chose and removed a victim (guarded).
+
+    ``score`` is the policy's eviction score for the victim when the
+    policy exposes one (the duration schemes and EWMA do); ``None``
+    for recency/frequency policies without a numeric rank.
+    """
+
+    client_id: int
+    cache: str
+    key: KeyLike
+    size_bytes: int
+    score: "float | None" = None
+
+
+@dataclasses.dataclass(frozen=True)
+class RefreshExpired(SimEvent):
+    """A lookup found a cached entry past its refresh deadline (guarded)."""
+
+    client_id: int
+    key: KeyLike
+    age_seconds: float
+    expired_for_seconds: float
+
+
+# ----------------------------------------------------------------------
+# Client query / remote-round lifecycle
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class RemoteRound(SimEvent):
+    """One attempt of a remote round began (always-on).
+
+    ``attempt`` is zero-based: attempt 0 opens the round, every later
+    attempt is a retry after a reply timeout.
+    """
+
+    client_id: int
+    query_id: int
+    attempt: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestSent(SimEvent):
+    """A request message entered the uplink (always-on)."""
+
+    client_id: int
+    query_id: int
+    attempt: int
+    size_bytes: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplyTimeout(SimEvent):
+    """A reply wait expired (always-on)."""
+
+    client_id: int
+    query_id: int
+    attempt: int
+
+
+@dataclasses.dataclass(frozen=True)
+class LateReply(SimEvent):
+    """A reply for an abandoned earlier attempt arrived and was
+    discarded (always-on)."""
+
+    client_id: int
+    query_id: int
+    size_bytes: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplyReceived(SimEvent):
+    """A reply (or prefetch trailer) was consumed by the client
+    (always-on)."""
+
+    client_id: int
+    query_id: int
+    size_bytes: int
+    is_trailer: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryComplete(SimEvent):
+    """A query's results were delivered to the user (always-on)."""
+
+    client_id: int
+    query_id: int
+    response_seconds: float
+    connected: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryDegraded(SimEvent):
+    """A query fell back to cache-only answers after the retry budget
+    ran out (always-on when it happens)."""
+
+    client_id: int
+    query_id: int
+    lost_updates: int
+
+
+# ----------------------------------------------------------------------
+# Network and server
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class TransmitOutcome(SimEvent):
+    """One transmission left a wireless channel (always-on).
+
+    ``bytes_on_air`` equals ``size_bytes`` for completed transmissions
+    (delivered or dropped) and the partial airtime-weighted byte count
+    for aborts cut mid-flight.
+    """
+
+    channel: str
+    outcome: str
+    size_bytes: float
+    bytes_on_air: float
+    airtime_seconds: float
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent(SimEvent):
+    """One injected channel fault (always-on while faults are active).
+
+    Field order matches the PR-2 fault-trace records this type
+    replaces, so persisted traces keep their shape.
+    """
+
+    channel: str
+    kind: str
+    size_bytes: float
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestServed(SimEvent):
+    """The server finished processing one request (guarded)."""
+
+    client_id: int
+    query_id: int
+    items: int
+    prefetched: int
+    updates: int
+    service_seconds: float
+
+
+# ----------------------------------------------------------------------
+# Simulation kernel
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class ResourceWait(SimEvent):
+    """A facility claim was released: queueing and holding times
+    (guarded)."""
+
+    resource: str
+    wait_seconds: float
+    hold_seconds: float
+
+
+#: Every event type, for sinks that subscribe to the full taxonomy.
+ALL_EVENT_TYPES: tuple[type[SimEvent], ...] = (
+    CacheAccess,
+    CacheAdmit,
+    CacheEvict,
+    RefreshExpired,
+    RemoteRound,
+    RequestSent,
+    ReplyTimeout,
+    LateReply,
+    ReplyReceived,
+    QueryComplete,
+    QueryDegraded,
+    TransmitOutcome,
+    FaultEvent,
+    RequestServed,
+    ResourceWait,
+)

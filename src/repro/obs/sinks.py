@@ -1,0 +1,233 @@
+"""Event sinks: JSONL trace export and the staleness timeline.
+
+Sinks subscribe to the :class:`~repro.obs.bus.EventBus` and never feed
+back into the simulation — removing every sink cannot change a single
+domain decision, which is what keeps instrumentation a strict no-op on
+the pinned regression outputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing as t
+
+from repro.obs.bus import EventBus
+from repro.obs.events import CacheAccess, SimEvent
+
+#: Default number of encoded events buffered before a disk flush.
+DEFAULT_TRACE_BUFFER = 1000
+#: Default staleness-timeline bucket width (matches the hit-ratio
+#: series in :mod:`repro.metrics.collectors`).
+DEFAULT_STALENESS_BUCKET = 1800.0
+
+
+def jsonify(value: t.Any) -> t.Any:
+    """Best-effort JSON representation of an event field value.
+
+    Scalars pass through; tuples/lists recurse; anything else (cache
+    keys, OIDs) falls back to ``repr``-style stringification so traces
+    stay loss-tolerant rather than raising mid-run.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [jsonify(item) for item in value]
+    return str(value)
+
+
+def encode_event(event: SimEvent) -> dict[str, t.Any]:
+    """One event as a flat JSON-ready dict (``type`` plus its fields)."""
+    record: dict[str, t.Any] = {"type": type(event).__name__}
+    for field in dataclasses.fields(event):
+        record[field.name] = jsonify(getattr(event, field.name))
+    return record
+
+
+class TraceSink:
+    """Bounded-memory JSONL trace writer.
+
+    Subscribes to *every* event on the bus, encodes each to one JSON
+    line, and flushes to ``path`` whenever ``buffer_events`` lines have
+    accumulated — memory use is bounded by the buffer, not the run
+    length.  Call :meth:`close` (the runner does) to flush the tail and
+    release the file handle.
+    """
+
+    def __init__(
+        self, path: str, buffer_events: int = DEFAULT_TRACE_BUFFER
+    ) -> None:
+        if buffer_events < 1:
+            raise ValueError(
+                f"trace buffer must be >= 1 events, got {buffer_events!r}"
+            )
+        self.path = path
+        self.buffer_events = int(buffer_events)
+        self.events_written = 0
+        self._buffer: list[str] = []
+        self._file: t.TextIO | None = open(path, "w", encoding="utf-8")
+
+    def __repr__(self) -> str:
+        return f"<TraceSink {self.path!r} written={self.events_written}>"
+
+    def attach(self, bus: EventBus) -> "TraceSink":
+        bus.subscribe_all(self.on_event)
+        return self
+
+    def on_event(self, event: SimEvent) -> None:
+        if self._file is None:
+            return
+        self._buffer.append(json.dumps(encode_event(event)))
+        self.events_written += 1
+        if len(self._buffer) >= self.buffer_events:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._file is None or not self._buffer:
+            return
+        self._file.write("\n".join(self._buffer) + "\n")
+        self._file.flush()
+        self._buffer.clear()
+
+    def close(self) -> None:
+        """Flush buffered lines and close the file (idempotent)."""
+        if self._file is None:
+            return
+        self.flush()
+        self._file.close()
+        self._file = None
+
+
+def read_trace(path: str) -> t.Iterator[dict[str, t.Any]]:
+    """Yield the decoded records of a JSONL trace file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield t.cast("dict[str, t.Any]", json.loads(line))
+
+
+def summarize_trace(path: str) -> dict[str, t.Any]:
+    """Aggregate a JSONL trace: per-type counts and the time range.
+
+    The inverse half of the export round-trip: the per-type counts must
+    match the run's ``event_counts`` (minus nothing — the trace sink
+    subscribes to everything).
+    """
+    counts: dict[str, int] = {}
+    first: float | None = None
+    last: float | None = None
+    total = 0
+    for record in read_trace(path):
+        name = str(record.get("type", "?"))
+        counts[name] = counts.get(name, 0) + 1
+        total += 1
+        moment = record.get("time")
+        if isinstance(moment, (int, float)):
+            if first is None or moment < first:
+                first = float(moment)
+            if last is None or moment > last:
+                last = float(moment)
+    return {
+        "path": path,
+        "events": total,
+        "counts": dict(sorted(counts.items())),
+        "first_time": first,
+        "last_time": last,
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class StalenessBucket:
+    """Aggregate age-at-read statistics for one time bucket."""
+
+    start: float
+    reads: int
+    mean_age_seconds: float
+    max_age_seconds: float
+    stale_fraction: float
+    error_fraction: float
+
+
+class StalenessTimeline:
+    """Per-item age-at-read dynamics, bucketed over simulated time.
+
+    The paper's aggregate error rate says *how much* staleness was
+    consumed; this sink shows *when* and *how old* — the lens the
+    AoI/freshness literature uses.  For every answered
+    :class:`CacheAccess` that consulted a cached entry it records the
+    entry's age at read, then reports per-bucket read counts, mean/max
+    age, the stale-served fraction and the error fraction.
+    """
+
+    def __init__(
+        self, bucket_seconds: float = DEFAULT_STALENESS_BUCKET
+    ) -> None:
+        if bucket_seconds <= 0:
+            raise ValueError(
+                f"bucket width must be positive, got {bucket_seconds!r}"
+            )
+        self.bucket_seconds = float(bucket_seconds)
+        #: bucket index -> [reads, age_sum, age_max, stale, errors].
+        self._buckets: dict[int, list[float]] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"<StalenessTimeline buckets={len(self._buckets)} "
+            f"width={self.bucket_seconds:g}s>"
+        )
+
+    def attach(self, bus: EventBus) -> "StalenessTimeline":
+        bus.subscribe(CacheAccess, self.on_access)
+        return self
+
+    def on_access(self, event: CacheAccess) -> None:
+        age = event.age_seconds
+        if age is None:
+            return
+        index = int(event.time // self.bucket_seconds)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = [0.0, 0.0, 0.0, 0.0, 0.0]
+            self._buckets[index] = bucket
+        bucket[0] += 1
+        bucket[1] += age
+        if age > bucket[2]:
+            bucket[2] = age
+        if event.stale_served:
+            bucket[3] += 1
+        if event.error:
+            bucket[4] += 1
+
+    def series(self) -> list[StalenessBucket]:
+        """Chronological per-bucket aggregates (non-empty buckets only)."""
+        out: list[StalenessBucket] = []
+        for index in sorted(self._buckets):
+            reads, age_sum, age_max, stale, errors = self._buckets[index]
+            out.append(
+                StalenessBucket(
+                    start=index * self.bucket_seconds,
+                    reads=int(reads),
+                    mean_age_seconds=age_sum / reads,
+                    max_age_seconds=age_max,
+                    stale_fraction=stale / reads,
+                    error_fraction=errors / reads,
+                )
+            )
+        return out
+
+
+class EventCounter:
+    """Minimal sink: counts events per type (testing and spot checks).
+
+    The bus already tallies emitted events; this counter exists for
+    subscribing to a *subset* and for asserting dispatch behaviour in
+    tests without a full sink.
+    """
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+
+    def on_event(self, event: SimEvent) -> None:
+        name = type(event).__name__
+        self.counts[name] = self.counts.get(name, 0) + 1

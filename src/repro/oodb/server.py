@@ -28,6 +28,7 @@ from repro.errors import NetworkError
 from repro.net.channel import DELIVERED
 from repro.net.message import ReplyItem, ReplyMessage, RequestMessage
 from repro.net.network import Network
+from repro.obs.events import RequestServed
 from repro.oodb.database import Database
 from repro.oodb.objects import DBObject, OID
 from repro.oodb.storage import StorageModel
@@ -271,6 +272,22 @@ class DatabaseServer:
                 client_id=request.client_id,
                 query_id=request.query_id,
                 items=tuple(items) + tuple(prefetched),
+            )
+        bus = self.network.bus
+        if bus.wants(RequestServed):
+            bus.emit(
+                RequestServed(
+                    time=now,
+                    client_id=request.client_id,
+                    query_id=request.query_id,
+                    items=len(items),
+                    prefetched=len(prefetched),
+                    updates=sum(
+                        len(changes)
+                        for changes in request.updates.values()
+                    ),
+                    service_seconds=service_time,
+                )
             )
         return reply, trailer, service_time
 

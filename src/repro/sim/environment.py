@@ -10,6 +10,9 @@ from repro.errors import SchedulingError, SimulationError, StopSimulation
 from repro.sim.events import AllOf, AnyOf, Event, NORMAL, Timeout
 from repro.sim.process import Process, ProcessGenerator
 
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.profiler import WallClockProfiler
+
 
 class Environment:
     """Owner of the simulated clock and the pending-event queue.
@@ -25,6 +28,11 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = count()
         self._active_process: Process | None = None
+        #: Optional wall-clock profiler; ``None`` (the default) costs a
+        #: single attribute check per step.  When set, every callback
+        #: execution is timed and charged to its process's subsystem
+        #: bucket (see :mod:`repro.obs.profiler`).
+        self.profiler: "WallClockProfiler | None" = None
 
     def __repr__(self) -> str:
         return f"<Environment now={self._now!r} pending={len(self._queue)}>"
@@ -89,8 +97,19 @@ class Environment:
         callbacks = event.callbacks
         event.callbacks = None  # marks the event processed
         if callbacks:
-            for callback in callbacks:
-                callback(event)
+            profiler = self.profiler
+            if profiler is None:
+                for callback in callbacks:
+                    callback(event)
+            else:
+                for callback in callbacks:
+                    started = profiler.clock()
+                    callback(event)
+                    elapsed = profiler.clock() - started
+                    owner = getattr(callback, "__self__", None)
+                    profiler.record(
+                        getattr(owner, "name", None) or "", elapsed
+                    )
         elif not event.ok:
             # A failed event nobody waits on would silently swallow the
             # exception; surface it instead ("errors should never pass

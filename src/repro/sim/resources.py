@@ -14,9 +14,11 @@ import typing as t
 from collections import deque
 
 from repro.errors import SimulationError
+from repro.obs.events import ResourceWait
 from repro.sim.events import Event
 
 if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.bus import EventBus
     from repro.sim.environment import Environment
 
 
@@ -30,11 +32,14 @@ class Request(Event):
             ... hold the resource ...
     """
 
-    __slots__ = ("resource",)
+    __slots__ = ("resource", "requested_at", "granted_at")
 
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
+        self.requested_at = resource.env.now
+        #: Set when the claim is granted; ``None`` while still queued.
+        self.granted_at: float | None = None
 
     def __enter__(self) -> "Request":
         return self
@@ -47,13 +52,21 @@ class Resource:
     """A facility with ``capacity`` identical servers and a FCFS queue."""
 
     def __init__(
-        self, env: "Environment", capacity: int = 1, name: str = "resource"
+        self,
+        env: "Environment",
+        capacity: int = 1,
+        name: str = "resource",
+        bus: "EventBus | None" = None,
     ) -> None:
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity!r}")
         self.env = env
         self.capacity = capacity
         self.name = name
+        #: Optional bus for guarded :class:`ResourceWait` emissions on
+        #: release (queueing/holding time per claim); ``None`` keeps the
+        #: facility observability-free with zero overhead.
+        self.bus = bus
         self._users: list[Request] = []
         self._waiting: deque[Request] = deque()
         # Utilisation accounting (busy integral over time).  The busy
@@ -85,6 +98,7 @@ class Resource:
         request = Request(self)
         if len(self._users) < self.capacity:
             self._users.append(request)
+            request.granted_at = self.env.now
             request.succeed()
         else:
             self._waiting.append(request)
@@ -95,9 +109,25 @@ class Resource:
         self._account()
         if request in self._users:
             self._users.remove(request)
+            if (
+                self.bus is not None
+                and request.granted_at is not None
+                and self.bus.wants(ResourceWait)
+            ):
+                self.bus.emit(
+                    ResourceWait(
+                        time=self.env.now,
+                        resource=self.name,
+                        wait_seconds=(
+                            request.granted_at - request.requested_at
+                        ),
+                        hold_seconds=self.env.now - request.granted_at,
+                    )
+                )
             while self._waiting and len(self._users) < self.capacity:
                 nxt = self._waiting.popleft()
                 self._users.append(nxt)
+                nxt.granted_at = self.env.now
                 nxt.succeed()
         else:
             # Cancelling a queued request is legal (e.g. an interrupted

@@ -36,6 +36,45 @@ def test_run_short_simulation(capsys):
     assert "response time" in out
 
 
+def test_run_with_trace_and_summarize(capsys, tmp_path):
+    trace_path = str(tmp_path / "run.jsonl")
+    code = main(
+        [
+            "run",
+            "--hours",
+            "0.2",
+            "--clients",
+            "2",
+            "--trace",
+            trace_path,
+            "--profile",
+            "--staleness-timeline",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "trace         :" in out
+    assert "wall-clock profile:" in out
+    assert "staleness timeline" in out
+
+    assert main(["trace", "summarize", trace_path]) == 0
+    summary_out = capsys.readouterr().out
+    assert "QueryComplete" in summary_out
+    assert "CacheAccess" in summary_out
+    # The export and the summary agree on the event total.
+    events_line = next(
+        line for line in summary_out.splitlines()
+        if line.startswith("events")
+    )
+    total = int(events_line.split(":")[1])
+    assert f"trace         : {total} events" in out
+
+
+def test_trace_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main(["trace"])
+
+
 def test_run_rejects_bad_granularity():
     with pytest.raises(SystemExit):
         main(["run", "--granularity", "ZZ"])

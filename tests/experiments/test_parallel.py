@@ -50,6 +50,7 @@ def row_bytes(table):
                     row.retries,
                     row.timeouts,
                     row.degraded,
+                    sorted(row.event_counts.items()),
                 )
             )
         )
@@ -77,6 +78,14 @@ class TestGoldenEquivalence:
         parallel = execute("exp5", "t", runs, jobs=4)
         assert row_bytes(serial) == row_bytes(parallel)
         assert serial.rows == parallel.rows
+        # The instrumentation spine must be as deterministic as the
+        # metrics it feeds: identical per-type event totals regardless
+        # of worker count.
+        merged = serial.merged_event_counts()
+        assert merged == parallel.merged_event_counts()
+        assert merged["QueryComplete"] == sum(
+            row.queries for row in serial.rows
+        )
 
     def test_exp7_parallel_matches_serial(self):
         """Fault draws must replay identically across worker processes.

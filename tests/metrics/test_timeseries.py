@@ -45,6 +45,41 @@ class TestBucketedRatio:
         with pytest.raises(ValueError):
             BucketedRatio(10.0).merge(BucketedRatio(20.0))
 
+    def test_merge_width_mismatch_names_both_widths(self):
+        with pytest.raises(ValueError, match=r"10.*20|20.*10"):
+            BucketedRatio(10.0).merge(BucketedRatio(20.0))
+
+    def test_merge_into_empty_and_from_empty(self):
+        target = BucketedRatio(10.0)
+        source = BucketedRatio(10.0)
+        source.record(5.0, True)
+        target.merge(source)
+        assert target.series() == [(0.0, 1.0, 1)]
+        target.merge(BucketedRatio(10.0))  # empty source: no-op
+        assert target.series() == [(0.0, 1.0, 1)]
+
+    def test_record_rejects_negative_time(self):
+        series = BucketedRatio(10.0)
+        with pytest.raises(ValueError, match="negative"):
+            series.record(-0.5, True)
+        assert series.series() == []
+
+    def test_ratio_between_uses_bucket_start_for_membership(self):
+        # A sample at t=19 lands in the [10, 20) bucket; the window
+        # [15, 25) only *partially* covers that bucket, but membership
+        # is decided by the bucket's start time — so the sample is
+        # excluded even though its raw timestamp lies inside the window.
+        series = BucketedRatio(10.0)
+        series.record(19.0, True)
+        series.record(21.0, False)
+        assert series.ratio_between(15.0, 25.0) == 0.0
+        assert series.ratio_between(10.0, 25.0) == pytest.approx(0.5)
+
+    def test_ratio_between_empty_window(self):
+        series = BucketedRatio(10.0)
+        series.record(1.0, True)
+        assert series.ratio_between(50.0, 50.0) == 0.0
+
     def test_sparkline_length_and_range(self):
         series = BucketedRatio(1.0)
         for t in range(200):

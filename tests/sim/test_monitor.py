@@ -104,6 +104,35 @@ def test_time_weighted_zero_elapsed():
     assert monitor.time_average(3.0) == 7.0
 
 
+def test_time_weighted_average_extends_current_segment():
+    # Querying *after* the last update extends the current value over
+    # the open tail: 0 for [0,2), then 10 held through [2,4).
+    monitor = TimeWeighted(now=0.0, value=0.0)
+    monitor.update(2.0, 10.0)
+    assert monitor.time_average(4.0) == pytest.approx(5.0)
+    # The query must not mutate state: asking again (or later) still
+    # integrates from the same last update.
+    assert monitor.time_average(4.0) == pytest.approx(5.0)
+    assert monitor.time_average(6.0) == pytest.approx(20.0 / 3.0)
+
+
+def test_time_weighted_average_before_start_returns_current():
+    monitor = TimeWeighted(now=5.0, value=3.0)
+    # now <= start: no elapsed window to average over.
+    assert monitor.time_average(4.0) == 3.0
+
+
+def test_confidence_interval_narrows_with_samples():
+    small = summarize([10.0, 12.0, 9.0, 11.0])
+    big = summarize([10.0, 12.0, 9.0, 11.0] * 25)
+    s_low, s_high = small.confidence_interval(0.95)
+    b_low, b_high = big.confidence_interval(0.95)
+    assert (b_high - b_low) < (s_high - s_low)
+    # Higher confidence level widens the interval.
+    w_low, w_high = big.confidence_interval(0.99)
+    assert (w_high - w_low) > (b_high - b_low)
+
+
 def test_ratio_counter():
     counter = RatioCounter()
     assert counter.ratio == 0.0
