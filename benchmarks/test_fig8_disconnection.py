@@ -38,7 +38,7 @@ def test_fig8a_c_duration_sweep(figure_bench):
         # Strong growth from the shortest to the longest disconnection.
         assert errors[0] < errors[-1]
         # And roughly monotone along the sweep (noise tolerance).
-        for earlier, later in zip(errors, errors[2:]):
+        for earlier, later in zip(errors, errors[2:], strict=False):
             assert earlier <= later + 0.05
 
 

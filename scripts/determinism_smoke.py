@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""CI determinism smoke check: audited double-run fingerprint diff.
+
+Runs the default experiment-1 configuration twice with the scheduling
+auditor on — once in this process, once in a subprocess with a
+*different* ``PYTHONHASHSEED`` — and fails unless:
+
+* both runs report **zero unexplained scheduling collisions**, and
+* both runs produce the **identical order-insensitive trace
+  fingerprint** (see ``repro.analysis.audit``).
+
+Together the two assertions pin the repo's core determinism claim: for
+one seedset, the set of scheduled work is independent of Python's
+string-hash randomisation, and insertion order is never load-bearing
+except where the kernel's program order already fixes it.
+
+Usage::
+
+    PYTHONPATH=src python scripts/determinism_smoke.py [--hours H]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+
+
+def run_once(hours: float) -> tuple[str, int, int]:
+    """(fingerprint, unexplained collisions, steps) for one audited run."""
+    from repro.experiments.config import SimulationConfig
+    from repro.experiments.runner import run_simulation
+
+    result = run_simulation(
+        SimulationConfig(horizon_hours=hours, determinism_audit=True)
+    )
+    report = result.determinism
+    assert report is not None
+    return report.fingerprint, report.collisions, report.steps
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--hours",
+        type=float,
+        default=1.0,
+        help="simulated horizon per run (default: 1.0)",
+    )
+    parser.add_argument(
+        "--hash-seed",
+        default="424242",
+        help="PYTHONHASHSEED for the second run (default: 424242)",
+    )
+    parser.add_argument(
+        "--single",
+        action="store_true",
+        help="run once and print 'fingerprint collisions steps' (internal)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.single:
+        fingerprint, collisions, steps = run_once(args.hours)
+        print(fingerprint, collisions, steps)
+        return 0
+
+    fingerprint, collisions, steps = run_once(args.hours)
+    print(f"run 1: steps={steps} collisions={collisions} fp={fingerprint}")
+    if collisions:
+        print(
+            f"FAIL: {collisions} unexplained scheduling collision(s); "
+            "run with --determinism-audit for the sites",
+            file=sys.stderr,
+        )
+        return 1
+
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = args.hash_seed
+    second = subprocess.run(
+        [
+            sys.executable,
+            os.path.abspath(__file__),
+            "--single",
+            "--hours",
+            str(args.hours),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if second.returncode != 0:
+        print(second.stderr, file=sys.stderr)
+        print("FAIL: second run crashed", file=sys.stderr)
+        return 1
+    fp2, coll2, steps2 = second.stdout.split()
+    print(
+        f"run 2: steps={steps2} collisions={coll2} fp={fp2} "
+        f"(PYTHONHASHSEED={args.hash_seed})"
+    )
+    if int(coll2):
+        print(
+            "FAIL: unexplained collisions under the second hash seed",
+            file=sys.stderr,
+        )
+        return 1
+    if fp2 != fingerprint:
+        print(
+            "FAIL: trace fingerprints differ across PYTHONHASHSEED values "
+            "— hash order is leaking into the event queue",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: identical fingerprints, zero unexplained collisions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

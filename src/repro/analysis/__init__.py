@@ -1,0 +1,40 @@
+"""Static analysis and runtime determinism auditing.
+
+Two halves, one purpose: keep the simulation *fully deterministic for a
+given seedset* (the invariant every reproduced number rests on).
+
+* :mod:`repro.analysis.engine` + :mod:`repro.analysis.rules` — a small
+  AST lint framework with simulation-domain rules (REP001+) that turn
+  wall-clock reads, unseeded randomness, hash-order iteration and
+  similar reproducibility hazards into CI failures.  Run it with
+  ``repro-mobicache lint src tests``.
+* :mod:`repro.analysis.audit` — an opt-in runtime auditor for the
+  event-queue kernel that records same-``(time, priority)`` scheduling
+  ties between different processes (the exact condition under which
+  heap insertion order is load-bearing) and produces an
+  order-insensitive trace fingerprint for cross-run comparison.
+"""
+
+from repro.analysis.audit import (
+    CollisionSite,
+    DeterminismAuditor,
+    DeterminismReport,
+)
+from repro.analysis.engine import (
+    Finding,
+    all_rules,
+    lint_paths,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "CollisionSite",
+    "DeterminismAuditor",
+    "DeterminismReport",
+    "Finding",
+    "all_rules",
+    "lint_paths",
+    "render_json",
+    "render_text",
+]

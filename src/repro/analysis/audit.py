@@ -1,0 +1,246 @@
+"""Runtime scheduling-race auditor for the event-queue kernel.
+
+The kernel resolves same-instant events by ``(time, priority,
+insertion)`` order.  Insertion order is deterministic as long as every
+scheduling site is — the property the static rules defend.  The auditor
+closes the loop at runtime: it watches every heap pop and records the
+exact condition under which insertion order is *load-bearing* — the
+popped event's ``(time, priority)`` key ties with another pending event
+that would resume a **different** process.  Each such tie is a
+*scheduling collision*: a site where a nondeterministic insertion (from
+hash-order iteration, say) would silently reorder the simulation.
+
+Collisions are classified:
+
+* ``process-start`` — both events are :class:`~repro.sim.events.Initialize`
+  bootstraps.  Start order equals program order (the wiring loop), so
+  these are explained and expected at ``t=0``.
+* ``same-process`` — both events resume the same process set; relative
+  order cannot change that process's observable behaviour because the
+  kernel delivers them in insertion order either way.
+* ``causal-chain`` — at least one of the two events was scheduled with
+  **zero delay**, i.e. created while the kernel was already processing
+  the tied instant (a reply hitting the client's box, the next queued
+  sender's channel grant, a process completing).  Such an event's heap
+  position is fixed by program order within one step cascade — exactly
+  the determinism the static rules (REP003 above all) defend — so
+  these are explained.
+* ``coincident`` — both events were scheduled *ahead of time*, from
+  different steps, and happen to land on the same ``(time, priority)``
+  key: two independent timeouts colliding.  Nothing but raw insertion
+  order separates them, so these count as *unexplained* and should be
+  zero in a healthy run.
+
+The auditor also folds every processed event into an
+**order-insensitive trace fingerprint**: the XOR of per-event SHA-256
+digests over ``(time, priority, event type, waiter names)``.  XOR makes
+the fingerprint independent of tie-breaking order while remaining
+sensitive to any change in the *set* of scheduled work — and, unlike
+``hash()``, it is stable across ``PYTHONHASHSEED`` values, so two runs
+of one seedset must produce identical fingerprints under any hash seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import typing as t
+
+from repro.sim.events import Event, Initialize
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.bus import EventBus
+
+#: Collision classification labels.
+CATEGORY_PROCESS_START = "process-start"
+CATEGORY_SAME_PROCESS = "same-process"
+CATEGORY_CAUSAL_CHAIN = "causal-chain"
+CATEGORY_COINCIDENT = "coincident"
+
+
+@dataclasses.dataclass(frozen=True)
+class CollisionSite:
+    """One recorded same-``(time, priority)`` tie."""
+
+    time: float
+    priority: int
+    #: Names of the processes the two tied events would resume (sorted,
+    #: deduplicated; kernel-internal events with no waiting process
+    #: contribute nothing).
+    processes: tuple[str, ...]
+    #: Event type names of the popped event and the tied pending one.
+    kinds: tuple[str, str]
+    category: str
+
+    @property
+    def explained(self) -> bool:
+        return self.category != CATEGORY_COINCIDENT
+
+
+@dataclasses.dataclass(frozen=True)
+class DeterminismReport:
+    """What the auditor saw over one run."""
+
+    steps: int
+    #: Unexplained (coincident) collision count.
+    collisions: int
+    #: Explained collisions (process starts, same-process ties,
+    #: causal chains).
+    explained_collisions: int
+    #: First :attr:`DeterminismAuditor.max_sites` collision sites, in
+    #: occurrence order, unexplained and explained alike.
+    sites: tuple[CollisionSite, ...]
+    #: Order-insensitive SHA-256-XOR over every processed event.
+    fingerprint: str
+
+    def summary(self) -> str:
+        return (
+            f"steps={self.steps} collisions={self.collisions} "
+            f"explained={self.explained_collisions} "
+            f"fingerprint={self.fingerprint}"
+        )
+
+
+def _waiter_names(event: Event) -> tuple[str, ...]:
+    """Sorted names of the processes waiting on ``event``.
+
+    Waiters are found through bound callbacks: a process's ``_resume``
+    carries the process (and its ``name``) as ``__self__``.  A condition
+    (:class:`~repro.sim.events.AnyOf`/``AllOf``) interposes itself — the
+    child's callback is bound to the condition, whose *own* callbacks
+    lead to the process — so the walk follows Event-owned callbacks
+    transitively (cycle-safe; event graphs are DAGs but cheap insurance).
+    """
+    names: set[str] = set()
+    seen: set[int] = set()
+
+    def visit(current: Event) -> None:
+        if id(current) in seen:
+            return
+        seen.add(id(current))
+        for callback in current.callbacks or ():
+            owner = getattr(callback, "__self__", None)
+            name = getattr(owner, "name", None)
+            if isinstance(name, str):
+                names.add(name)
+            elif isinstance(owner, Event):
+                visit(owner)
+
+    visit(event)
+    return tuple(sorted(names))
+
+
+class DeterminismAuditor:
+    """Per-run collision recorder and trace fingerprinter.
+
+    Attach one to an :class:`~repro.sim.environment.Environment` with
+    ``Environment(audit=True)``; the kernel calls :meth:`observe` once
+    per :meth:`~repro.sim.environment.Environment.step`, *before* the
+    popped event's callbacks run.  Zero instances means zero overhead:
+    the kernel's only cost when auditing is off is one ``is None``
+    check.
+    """
+
+    def __init__(self, max_sites: int = 25) -> None:
+        self.max_sites = max_sites
+        #: Optional bus for :class:`~repro.obs.events.SchedulingCollision`
+        #: emissions (guarded; attach via :meth:`attach_bus`).
+        self.bus: "EventBus | None" = None
+        self._steps = 0
+        self._collisions = 0
+        self._explained = 0
+        self._sites: list[CollisionSite] = []
+        self._fingerprint_acc = 0
+        #: ids of queued events that were scheduled with zero delay
+        #: (created *during* the instant they fire at — causal chains).
+        #: Entries are dropped as their events pop, so the set stays
+        #: bounded by the pending-queue size; only membership is ever
+        #: queried, so its hash order can never leak into the run.
+        self._immediate: set[int] = set()
+
+    def attach_bus(self, bus: "EventBus") -> "DeterminismAuditor":
+        self.bus = bus
+        return self
+
+    # ------------------------------------------------------------------
+    def note_scheduled(self, event: Event, delay: float) -> None:
+        """Record one heap push (called by ``Environment.schedule``)."""
+        if delay == 0:
+            self._immediate.add(id(event))
+
+    def observe(
+        self,
+        time: float,
+        priority: int,
+        event: Event,
+        queue: "list[tuple[float, int, int, Event]]",
+    ) -> None:
+        """Record one heap pop (called by the kernel step loop)."""
+        names = _waiter_names(event)
+        token = (
+            f"{time!r}|{priority}|{type(event).__name__}|{','.join(names)}"
+        )
+        digest = hashlib.sha256(token.encode("utf-8")).digest()
+        self._fingerprint_acc ^= int.from_bytes(digest, "big")
+        self._steps += 1
+        popped_immediate = id(event) in self._immediate
+        if popped_immediate:
+            self._immediate.discard(id(event))
+
+        if not queue:
+            return
+        head_time, head_priority, _seq, head_event = queue[0]
+        if head_time != time or head_priority != priority:
+            return
+        head_names = _waiter_names(head_event)
+        if isinstance(event, Initialize) and isinstance(
+            head_event, Initialize
+        ):
+            category = CATEGORY_PROCESS_START
+        elif names and names == head_names:
+            category = CATEGORY_SAME_PROCESS
+        elif popped_immediate or id(head_event) in self._immediate:
+            category = CATEGORY_CAUSAL_CHAIN
+        else:
+            category = CATEGORY_COINCIDENT
+        if category == CATEGORY_COINCIDENT:
+            self._collisions += 1
+        else:
+            self._explained += 1
+        site = CollisionSite(
+            time=time,
+            priority=priority,
+            processes=tuple(sorted(set(names) | set(head_names))),
+            kinds=(type(event).__name__, type(head_event).__name__),
+            category=category,
+        )
+        if len(self._sites) < self.max_sites:
+            self._sites.append(site)
+        bus = self.bus
+        if bus is not None:
+            from repro.obs.events import SchedulingCollision
+
+            if bus.wants(SchedulingCollision):
+                bus.emit(
+                    SchedulingCollision(
+                        time=time,
+                        priority=priority,
+                        processes=site.processes,
+                        category=category,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """Hex digest of the order-insensitive trace accumulator."""
+        return f"{self._fingerprint_acc:064x}"
+
+    def report(self) -> DeterminismReport:
+        return DeterminismReport(
+            steps=self._steps,
+            collisions=self._collisions,
+            explained_collisions=self._explained,
+            sites=tuple(self._sites),
+            fingerprint=self.fingerprint,
+        )

@@ -1,0 +1,270 @@
+"""The lint engine: rule registry, file walker, suppression, reporters.
+
+A *rule* inspects one parsed module and yields :class:`Finding` objects.
+Rules register themselves with :func:`register_rule` at import time (the
+:mod:`repro.analysis.rules` package imports every rule module), carry a
+stable ``REPxxx`` identifier, and may scope themselves to parts of the
+tree via :meth:`Rule.applies_to`.
+
+Suppression follows the ruff/flake8 convention but under our own tag so
+the two tools never fight over a comment::
+
+    self._clock = time.time  # repro: noqa REP001 -- wall-clock is the point
+
+A bare ``# repro: noqa`` (no ids) suppresses every rule on that line.
+Anything after ``--`` is a human-readable reason and is ignored by the
+parser (but reviewers should insist on one).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import re
+import typing as t
+from pathlib import Path
+
+#: Rule id reserved for files the engine itself cannot parse.
+PARSE_ERROR_ID = "REP000"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\b\s*(?P<ids>[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)?"
+)
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+class FileContext:
+    """Everything a rule may want to know about the file under analysis."""
+
+    def __init__(self, path: Path, source: str, root: Path | None = None) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        #: Path relative to the lint invocation root, POSIX-style, used
+        #: both in findings and in :meth:`Rule.applies_to` scoping.
+        try:
+            rel = path.resolve().relative_to((root or Path.cwd()).resolve())
+        except ValueError:
+            rel = path
+        self.rel_path = rel.as_posix()
+
+    def in_package(self, *names: str) -> bool:
+        """Whether the file lives under ``repro/<name>/`` (or is
+        ``repro/<name>.py``) for any of ``names``."""
+        parts = self.rel_path.split("/")
+        for name in names:
+            for i, part in enumerate(parts[:-1]):
+                if part == "repro" and parts[i + 1] in (name, f"{name}.py"):
+                    return True
+        return False
+
+    def is_module(self, tail: str) -> bool:
+        """Whether the file is exactly the module ``tail`` names, e.g.
+        ``repro/obs/profiler.py``."""
+        return self.rel_path.endswith(tail)
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, implement check()."""
+
+    #: Stable identifier, ``REP`` + three digits.
+    rule_id: str = ""
+    #: One-line summary shown by ``lint --list-rules``.
+    title: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule runs on the file at all (default: every file)."""
+        return True
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> t.Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=ctx.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+R = t.TypeVar("R", bound=type[Rule])
+
+
+def register_rule(cls: R) -> R:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id or not re.fullmatch(r"[A-Z]+[0-9]+", cls.rule_id):
+        raise ValueError(f"rule {cls.__name__} needs a well-formed rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, ordered by id."""
+    # Importing the rules package populates the registry exactly once.
+    from repro.analysis import rules as _rules  # noqa: F401
+
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+# ----------------------------------------------------------------------
+# Walking and suppression
+# ----------------------------------------------------------------------
+def iter_python_files(paths: t.Sequence[str | Path]) -> t.Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files pass through),
+    skipping hidden directories and ``__pycache__``."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = candidate.parts
+            if any(p == "__pycache__" or p.startswith(".") for p in parts):
+                continue
+            yield candidate
+
+
+def suppressed_ids(line: str) -> frozenset[str] | None:
+    """Rule ids a ``# repro: noqa`` comment on ``line`` suppresses.
+
+    ``None`` means no suppression comment; an empty set means *suppress
+    everything* (bare noqa).
+    """
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    ids = match.group("ids")
+    if not ids:
+        return frozenset()
+    return frozenset(part.strip() for part in ids.split(","))
+
+
+def _is_suppressed(finding: Finding, lines: list[str]) -> bool:
+    if not 1 <= finding.line <= len(lines):
+        return False
+    ids = suppressed_ids(lines[finding.line - 1])
+    if ids is None:
+        return False
+    return not ids or finding.rule_id in ids
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def lint_paths(
+    paths: t.Sequence[str | Path],
+    select: t.Collection[str] | None = None,
+    ignore: t.Collection[str] | None = None,
+    root: Path | None = None,
+) -> list[Finding]:
+    """Run every (selected) rule over every Python file under ``paths``.
+
+    ``select`` restricts the run to the given rule ids; ``ignore`` drops
+    ids from whatever is selected.  Unparseable files surface as
+    :data:`PARSE_ERROR_ID` findings rather than crashing the run.
+    """
+    rules = all_rules()
+    if select:
+        wanted = set(select)
+        unknown = wanted - {rule.rule_id for rule in rules}
+        if unknown:
+            raise ValueError(f"unknown rule ids selected: {sorted(unknown)}")
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+    if ignore:
+        dropped = set(ignore)
+        unknown = dropped - {rule.rule_id for rule in all_rules()}
+        if unknown:
+            raise ValueError(f"unknown rule ids ignored: {sorted(unknown)}")
+        rules = [rule for rule in rules if rule.rule_id not in dropped]
+
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(
+                Finding(str(path), 1, 1, PARSE_ERROR_ID, f"unreadable: {exc}")
+            )
+            continue
+        ctx = FileContext(path, source, root=root)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    ctx.rel_path,
+                    exc.lineno or 1,
+                    (exc.offset or 0) + 1,
+                    PARSE_ERROR_ID,
+                    f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        for rule in rules:
+            if not rule.applies_to(ctx):
+                continue
+            for finding in rule.check(tree, ctx):
+                if not _is_suppressed(finding, ctx.lines):
+                    findings.append(finding)
+    findings.sort()
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+def render_text(findings: t.Sequence[Finding]) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    lines = [
+        f"{finding.location()}: {finding.rule_id} {finding.message}"
+        for finding in findings
+    ]
+    if findings:
+        counts = _count_by_rule(findings)
+        breakdown = ", ".join(
+            f"{rule_id} x{count}" for rule_id, count in sorted(counts.items())
+        )
+        lines.append(f"{len(findings)} finding(s): {breakdown}")
+    else:
+        lines.append("no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: t.Sequence[Finding]) -> str:
+    """Machine-readable report (stable schema, see tests/analysis)."""
+    payload = {
+        "version": 1,
+        "findings": [dataclasses.asdict(finding) for finding in findings],
+        "counts": _count_by_rule(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _count_by_rule(findings: t.Sequence[Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    return counts

@@ -1,0 +1,56 @@
+"""REP007 — no mutable default arguments anywhere in ``src/repro``.
+
+A mutable default is evaluated once at definition time and shared by
+every call: state leaks across simulation runs through the function
+object itself, outliving the ``Environment`` and breaking run-to-run
+isolation (the bug class golden tests are worst at catching, because
+the first run of a process is always clean).
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from repro.analysis.engine import FileContext, Finding, Rule, register_rule
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "deque"})
+
+
+def _is_mutable_default(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(expr, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id in _MUTABLE_CALLS:
+            return True
+    return False
+
+
+@register_rule
+class NoMutableDefaults(Rule):
+    rule_id = "REP007"
+    title = "no mutable default arguments"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "repro/" in ctx.rel_path
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> t.Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                default for default in args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default argument in {node.name}(); "
+                        "default to None and create the object inside "
+                        "the function",
+                    )

@@ -1,0 +1,60 @@
+"""REP004 — no exact float equality against simulated time.
+
+``env.now`` is a float accumulated through repeated addition; two paths
+that "should" land on the same instant routinely differ in the last ulp.
+Comparing such values with ``==``/``!=`` makes behaviour depend on
+floating-point rounding — use ``math.isclose``, an explicit tolerance,
+or an ordering comparison (``<=``/``>=``) instead.
+
+The rule flags equality comparisons where either operand mentions
+``.now`` / a bare ``now`` name, or a name that by convention carries a
+simulated instant (``*deadline*``, ``expires_at``, ``*_at`` timestamps
+are out of scope — only the first two conventions are enforced to keep
+false positives near zero).
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from repro.analysis.engine import FileContext, Finding, Rule, register_rule
+
+
+def _mentions_sim_time(expr: ast.expr) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and node.attr == "now":
+            return True
+        if isinstance(node, ast.Name) and node.id == "now":
+            return True
+        if isinstance(node, ast.Attribute) and "deadline" in node.attr:
+            return True
+        if isinstance(node, ast.Name) and "deadline" in node.id:
+            return True
+    return False
+
+
+@register_rule
+class NoExactTimeEquality(Rule):
+    rule_id = "REP004"
+    title = "no ==/!= on values derived from env.now / deadlines"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "repro/" in ctx.rel_path
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> t.Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(
+                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+            ):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(_mentions_sim_time(operand) for operand in operands):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "exact ==/!= against a simulated instant; use "
+                    "math.isclose, a tolerance, or <=/>= bounds",
+                )

@@ -1,0 +1,120 @@
+"""REP003 — no unordered-container iteration in scheduling-adjacent code.
+
+``set``/``frozenset`` iteration order depends on element hashes, which
+``PYTHONHASHSEED`` randomises for strings: a loop over a set can visit
+elements in a different order on every interpreter launch.  Dict views
+are insertion-ordered — deterministic only as long as every insertion
+site is — so inside the packages that feed the event queue (``sim``,
+``net``, ``core``, ``client``) both get the same treatment: iterate a
+``sorted(...)`` snapshot, or carry a reasoned ``# repro: noqa REP003``
+stating why the order is deterministic or immaterial.
+
+Order-insensitive consumers are exempt by construction: a set
+comprehension (its result has no order), and a generator/list
+comprehension or view passed *directly* to a reducer such as ``sum``,
+``min``, ``max``, ``len``, ``any``, ``all``, ``sorted``, ``set`` or
+``frozenset``.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from repro.analysis.engine import FileContext, Finding, Rule, register_rule
+
+_VIEW_METHODS = frozenset({"keys", "values", "items"})
+_SET_BUILTINS = frozenset({"set", "frozenset"})
+_REDUCERS = frozenset(
+    {"sum", "min", "max", "len", "any", "all", "sorted", "set", "frozenset"}
+)
+
+
+def _unordered_reason(expr: ast.expr) -> str | None:
+    """Why ``expr`` produces items in a hash- or insertion-dependent
+    order, or ``None`` when it does not."""
+    if isinstance(expr, ast.Set):
+        return "a set literal"
+    if isinstance(expr, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id in _SET_BUILTINS:
+            return f"a {func.id}() value"
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _VIEW_METHODS
+            and not expr.args
+        ):
+            return f"a .{func.attr}() view"
+    return None
+
+
+@register_rule
+class SortedIterationOnly(Rule):
+    rule_id = "REP003"
+    title = "iterate sorted(...) over sets/dict views in sim/net/core/client"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package("sim", "net", "core", "client")
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> t.Iterator[Finding]:
+        parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                reason = _unordered_reason(node.iter)
+                if reason:
+                    yield self._flag(ctx, node.iter, reason, "for loop")
+            elif isinstance(
+                node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                if self._feeds_reducer(node, parents):
+                    continue
+                kind = {
+                    ast.ListComp: "list comprehension",
+                    ast.DictComp: "dict comprehension",
+                    ast.GeneratorExp: "generator expression",
+                }[type(node)]
+                for generator in node.generators:
+                    reason = _unordered_reason(generator.iter)
+                    if reason:
+                        yield self._flag(ctx, generator.iter, reason, kind)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in ("list", "tuple")
+                    and len(node.args) == 1
+                ):
+                    reason = _unordered_reason(node.args[0])
+                    if reason:
+                        yield self._flag(
+                            ctx, node.args[0], reason, f"{func.id}() call"
+                        )
+
+    @staticmethod
+    def _feeds_reducer(
+        node: ast.AST, parents: dict[ast.AST, ast.AST]
+    ) -> bool:
+        parent = parents.get(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in _REDUCERS
+            and node in parent.args
+        )
+
+    def _flag(
+        self, ctx: FileContext, node: ast.AST, reason: str, site: str
+    ) -> Finding:
+        return self.finding(
+            ctx,
+            node,
+            f"{site} iterates {reason}; wrap it in sorted(...) or add a "
+            "reasoned '# repro: noqa REP003' (hash/insertion order must "
+            "not reach the event queue)",
+        )

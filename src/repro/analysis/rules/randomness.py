@@ -1,0 +1,67 @@
+"""REP002 — all randomness flows through :mod:`repro.sim.rand`.
+
+The ``random`` module's global generator and bare ``numpy.random`` calls
+share hidden state: any new call site perturbs every draw after it, and
+an unseeded one breaks run-to-run reproducibility outright.  Every
+stochastic component instead takes a :class:`repro.sim.rand.RandomStream`
+forked from the experiment seed.  The one sanctioned importer is
+``repro/sim/rand.py`` itself, which wraps :class:`random.Random`.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from repro.analysis.engine import FileContext, Finding, Rule, register_rule
+
+
+@register_rule
+class SeededStreamsOnly(Rule):
+    rule_id = "REP002"
+    title = "no random module / bare numpy.random (use repro.sim.rand)"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "repro/" in ctx.rel_path and not ctx.is_module(
+            "repro/sim/rand.py"
+        )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> t.Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    if top == "random" or alias.name == "numpy.random":
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import of {alias.name!r} in simulation code; "
+                            "draw from a seeded repro.sim.rand.RandomStream "
+                            "instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                top = module.split(".")[0]
+                names = {alias.name for alias in node.names}
+                if top == "random" or (
+                    top == "numpy" and ("random" in names or "random" in module)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"import from {module or '.'!r} exposes unseeded "
+                        "randomness; use repro.sim.rand streams",
+                    )
+            elif isinstance(node, ast.Attribute) and node.attr == "random":
+                value = node.value
+                if isinstance(value, ast.Name) and value.id in (
+                    "numpy",
+                    "np",
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "bare numpy.random call site shares global RNG "
+                        "state; use a seeded Generator via "
+                        "repro.sim.rand",
+                    )

@@ -1,0 +1,69 @@
+"""REP001 — no wall-clock reads inside the simulation tree.
+
+Simulated time is :attr:`Environment.now`; real time is an input the
+simulation must never observe, or two runs of the same seedset diverge.
+The one sanctioned consumer is the wall-clock profiler
+(``repro/obs/profiler.py``), which measures the simulator rather than
+the simulation.  Anything else — including the worker-timing code in
+the parallel executor — must either go through the profiler or carry an
+explicit ``# repro: noqa REP001`` with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from repro.analysis.engine import FileContext, Finding, Rule, register_rule
+
+#: ``module -> banned attribute`` pairs a simulation file must not call.
+_BANNED_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+_BANNED_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+@register_rule
+class NoWallClock(Rule):
+    rule_id = "REP001"
+    title = "no wall-clock reads inside src/repro (use env.now)"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "repro/" in f"{ctx.rel_path}" and not ctx.is_module(
+            "repro/obs/profiler.py"
+        )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> t.Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            value = node.value
+            if isinstance(value, ast.Name):
+                base = value.id
+            elif isinstance(value, ast.Attribute):
+                base = value.attr
+            else:
+                continue
+            bad = (
+                base == "time"
+                and node.attr in _BANNED_TIME_ATTRS
+                or base in ("datetime", "date")
+                and node.attr in _BANNED_DATETIME_ATTRS
+            )
+            if bad:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read {base}.{node.attr} in simulation "
+                    "code; use env.now (simulated time) or the obs "
+                    "profiler (measurement)",
+                )

@@ -9,6 +9,9 @@ Examples::
     repro-mobicache experiment 1 --hours 8
     repro-mobicache experiment all --hours 4
     repro-mobicache list-policies
+    repro-mobicache lint src tests
+    repro-mobicache lint --format json --select REP001,REP003 src
+    repro-mobicache run --determinism-audit --hours 2
 """
 
 from __future__ import annotations
@@ -92,6 +95,9 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "breakdown of the run")
     obs_group.add_argument("--staleness-timeline", action="store_true",
                            help="print the bucketed age-at-read series")
+    obs_group.add_argument("--determinism-audit", action="store_true",
+                           help="audit same-instant scheduling ties and "
+                                "print the run's trace fingerprint")
 
     trace_parser = sub.add_parser(
         "trace", help="inspect a JSONL event trace"
@@ -118,6 +124,22 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("table1", help="print Table 1 (parameter settings)")
     sub.add_parser("list-policies", help="list replacement policies")
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the determinism lint (REP rules) over Python sources",
+    )
+    lint_parser.add_argument("paths", nargs="*", default=["src"],
+                             help="files or directories (default: src)")
+    lint_parser.add_argument("--format", choices=("text", "json"),
+                             default="text", dest="output_format")
+    lint_parser.add_argument("--select", default=None, metavar="IDS",
+                             help="comma-separated rule ids to run "
+                                  "(default: all)")
+    lint_parser.add_argument("--ignore", default=None, metavar="IDS",
+                             help="comma-separated rule ids to skip")
+    lint_parser.add_argument("--list-rules", action="store_true",
+                             help="print the rule catalogue and exit")
     return parser
 
 
@@ -146,6 +168,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace_path=args.trace_path,
         profile=args.profile,
         staleness_timeline=args.staleness_timeline,
+        determinism_audit=args.determinism_audit,
     )
     result = run_simulation(config)
     print(f"configuration : {config.label()}")
@@ -173,6 +196,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"  {bucket:<16} {cells['seconds']:>9.3f} s  "
                   f"{cells['share']:>6.1%}  "
                   f"({cells['calls']:.0f} callbacks)")
+    if result.determinism is not None:
+        audit = result.determinism
+        print(f"determinism   : {audit.summary()}")
+        for site in audit.sites:
+            if not site.explained:
+                processes = ", ".join(site.processes) or "<kernel>"
+                print(f"  collision at t={site.time:g} "
+                      f"priority={site.priority} [{site.category}] "
+                      f"processes: {processes}")
     if config.staleness_timeline:
         print("staleness timeline (age at cache read):")
         for bucket in result.staleness:
@@ -182,6 +214,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"stale={bucket.stale_fraction:.1%} "
                   f"err={bucket.error_fraction:.1%}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import all_rules, lint_paths, render_json, render_text
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    try:
+        findings = lint_paths(args.paths, select=select, ignore=ignore)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output_format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -296,6 +349,8 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "table1":
         print(render_table1())
         return 0

@@ -36,7 +36,6 @@ import typing as t
 
 from repro.core.coherence import ErrorOracle
 from repro.core.granularity import CacheKey, CachingGranularity
-from repro.errors import NetworkError
 from repro.core.invalidation import (
     DEFAULT_IR_INTERVAL,
     INVALIDATION_REPORT,
@@ -47,8 +46,12 @@ from repro.core.invalidation import (
 from repro.core.replacement import create_policy
 from repro.core.replacement.lru import LRUPolicy
 from repro.core.storage_cache import ClientStorageCache
+from repro.errors import NetworkError
 from repro.metrics.collectors import MetricsSink
 from repro.net.channel import DELIVERED
+from repro.net.faults import RecoveryPolicy
+from repro.net.message import ReplyMessage, RequestMessage, UpdateValue
+from repro.net.network import Network
 from repro.obs.bus import EventBus
 from repro.obs.events import (
     CacheAccess,
@@ -61,9 +64,6 @@ from repro.obs.events import (
     ReplyTimeout,
     RequestSent,
 )
-from repro.net.faults import RecoveryPolicy
-from repro.net.message import ReplyMessage, RequestMessage, UpdateValue
-from repro.net.network import Network
 from repro.oodb.database import Database
 from repro.oodb.objects import OID
 from repro.oodb.query import Query
@@ -298,14 +298,22 @@ class MobileClient:
                 client_id=self.client_id,
                 query_id=query.query_id,
                 granularity=self.granularity,
+                # Probe dicts are built in query item order (deterministic
+                # by construction), and that order fixes the server's reply
+                # item order on the wire — sorting here would change it.
                 needed={
-                    oid: tuple(attrs) for oid, attrs in probe.needed.items()
+                    oid: tuple(attrs)
+                    for oid, attrs in (
+                        probe.needed.items()  # repro: noqa REP003
+                    )
                 },
                 existent=tuple(probe.existent),
                 held=tuple(probe.held),
                 updates={
                     oid: tuple(changes)
-                    for oid, changes in probe.updates.items()
+                    for oid, changes in (
+                        probe.updates.items()  # repro: noqa REP003
+                    )
                 },
             )
             self._pending_probe = probe

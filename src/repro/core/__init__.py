@@ -11,6 +11,7 @@ from repro.core.coherence import (
     WriteIntervalStats,
 )
 from repro.core.entry import NEVER_EXPIRES, CacheEntry
+from repro.core.granularity import CacheKey, CachingGranularity
 from repro.core.invalidation import (
     COHERENCE_MODES,
     INVALIDATION_REPORT,
@@ -19,15 +20,14 @@ from repro.core.invalidation import (
     REFRESH_TIME,
     WriteLog,
 )
-from repro.core.granularity import CacheKey, CachingGranularity
 from repro.core.prefetch import AttributeAccessTracker
-from repro.core.storage_cache import ClientStorageCache
-from repro.core.surrogate import LocalDatabase, Surrogate
 from repro.core.replacement import (
     ReplacementPolicy,
     available_policies,
     create_policy,
 )
+from repro.core.storage_cache import ClientStorageCache
+from repro.core.surrogate import LocalDatabase, Surrogate
 
 __all__ = [
     "AttributeAccessTracker",

@@ -58,7 +58,9 @@ class AttributeAccessTracker:
         total = sum(counts.values())
         if total == 0:
             return {}
-        return {name: count / total for name, count in counts.items()}
+        return {
+            name: count / total for name, count in sorted(counts.items())
+        }
 
     def threshold(self, client_id: int, class_def: ClassDef) -> float:
         """Current prefetch threshold for this client and class.

@@ -22,8 +22,8 @@ import abc
 import heapq
 import typing as t
 
-from repro.errors import ReplacementError
 from repro.core.granularity import CacheKey
+from repro.errors import ReplacementError
 
 
 class ReplacementPolicy(abc.ABC):

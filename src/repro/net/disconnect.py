@@ -27,7 +27,7 @@ class DisconnectionSchedule:
         self._windows: dict[int, list[Window]] = {}
         self._starts: dict[int, list[float]] = {}
         if windows:
-            for client_id, client_windows in windows.items():
+            for client_id, client_windows in sorted(windows.items()):
                 for start, end in client_windows:
                     self.add_window(client_id, start, end)
 

@@ -70,7 +70,7 @@ class RequestMessage:
     def size_bytes(self) -> int:
         size = HEADER_BYTES + QUERY_DESCRIPTOR_BYTES
         oids_on_wire: set[OID] = set()
-        for oid, attrs in self.needed.items():
+        for oid, attrs in sorted(self.needed.items()):
             oids_on_wire.add(oid)
             size += OID_BYTES + len(attrs) * ATTR_ID_BYTES
         for oid, attribute in (*self.existent, *self.held):
@@ -79,7 +79,7 @@ class RequestMessage:
                 size += OID_BYTES
             if attribute is not None:
                 size += ATTR_ID_BYTES
-        for oid, changes in self.updates.items():
+        for oid, changes in sorted(self.updates.items()):
             if oid not in oids_on_wire:
                 oids_on_wire.add(oid)
                 size += OID_BYTES

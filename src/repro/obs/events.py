@@ -17,7 +17,7 @@ Two emission disciplines keep the bus cheap:
   constructed when a subscriber asked for them (the emit site checks
   ``bus.wants(EventType)`` first): :class:`CacheAdmit`,
   :class:`CacheEvict`, :class:`RefreshExpired`, :class:`RequestServed`,
-  :class:`ResourceWait`.
+  :class:`ResourceWait`, :class:`SchedulingCollision`.
 
 All fields are JSON-representable scalars or cache keys (which the
 trace sink stringifies), so every event round-trips through the JSONL
@@ -240,6 +240,22 @@ class RequestServed(SimEvent):
 # Simulation kernel
 # ----------------------------------------------------------------------
 @dataclasses.dataclass(frozen=True)
+class SchedulingCollision(SimEvent):
+    """Two pending events tied on ``(time, priority)`` at a heap pop
+    (guarded; only emitted when the determinism audit is on).
+
+    ``processes`` names the processes the tied events would resume;
+    ``category`` is the auditor's classification (``process-start``,
+    ``same-process``, ``causal-chain`` or ``coincident`` — only the
+    last is an unexplained ordering hazard).
+    """
+
+    priority: int
+    processes: tuple[str, ...]
+    category: str
+
+
+@dataclasses.dataclass(frozen=True)
 class ResourceWait(SimEvent):
     """A facility claim was released: queueing and holding times
     (guarded)."""
@@ -265,5 +281,6 @@ ALL_EVENT_TYPES: tuple[type[SimEvent], ...] = (
     TransmitOutcome,
     FaultEvent,
     RequestServed,
+    SchedulingCollision,
     ResourceWait,
 )

@@ -100,7 +100,7 @@ class TraceSink:
 
 def read_trace(path: str) -> t.Iterator[dict[str, t.Any]]:
     """Yield the decoded records of a JSONL trace file."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if line:

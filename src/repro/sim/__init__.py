@@ -16,7 +16,15 @@ Public surface::
 """
 
 from repro.sim.environment import Environment
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Initialize,
+    Interruption,
+    Resume,
+    Timeout,
+)
 from repro.sim.monitor import RatioCounter, Tally, TimeWeighted, summarize
 from repro.sim.process import Interrupt, Process
 from repro.sim.rand import RandomStream, cumulative, spawn_seed
@@ -27,8 +35,11 @@ __all__ = [
     "AnyOf",
     "Environment",
     "Event",
+    "Initialize",
     "Interrupt",
+    "Interruption",
     "Process",
+    "Resume",
     "RandomStream",
     "RatioCounter",
     "Request",

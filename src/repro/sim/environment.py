@@ -11,6 +11,7 @@ from repro.sim.events import AllOf, AnyOf, Event, NORMAL, Timeout
 from repro.sim.process import Process, ProcessGenerator
 
 if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.audit import DeterminismAuditor
     from repro.obs.profiler import WallClockProfiler
 
 
@@ -19,10 +20,14 @@ class Environment:
 
     Events scheduled for the same instant fire in (priority, insertion)
     order, which makes every simulation run fully deterministic for a
-    given seedset.
+    given seedset.  Pass ``audit=True`` to attach a
+    :class:`~repro.analysis.audit.DeterminismAuditor` that records every
+    same-``(time, priority)`` scheduling tie — the condition under which
+    insertion order is load-bearing — and an order-insensitive trace
+    fingerprint.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, audit: bool = False) -> None:
         self._now = float(initial_time)
         #: Heap of (time, priority, sequence, event).
         self._queue: list[tuple[float, int, int, Event]] = []
@@ -33,6 +38,16 @@ class Environment:
         #: execution is timed and charged to its process's subsystem
         #: bucket (see :mod:`repro.obs.profiler`).
         self.profiler: "WallClockProfiler | None" = None
+        #: Optional scheduling-race auditor; ``None`` (the default)
+        #: costs a single attribute check per step.
+        self.auditor: "DeterminismAuditor | None" = None
+        if audit:
+            # Imported lazily: repro.analysis.audit imports this module's
+            # sibling (sim.events), and the kernel must not depend on the
+            # analysis package unless auditing is requested.
+            from repro.analysis.audit import DeterminismAuditor
+
+            self.auditor = DeterminismAuditor()
 
     def __repr__(self) -> str:
         return f"<Environment now={self._now!r} pending={len(self._queue)}>"
@@ -84,6 +99,9 @@ class Environment:
         heapq.heappush(
             self._queue, (self._now + delay, priority, next(self._seq), event)
         )
+        auditor = self.auditor
+        if auditor is not None:
+            auditor.note_scheduled(event, delay)
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` when the queue is empty."""
@@ -93,7 +111,12 @@ class Environment:
         """Process exactly one event (advancing the clock to it)."""
         if not self._queue:
             raise SimulationError("nothing left to simulate")
-        self._now, __, __, event = heapq.heappop(self._queue)
+        self._now, priority, __, event = heapq.heappop(self._queue)
+        auditor = self.auditor
+        if auditor is not None:
+            # Before callbacks are detached: the auditor derives waiter
+            # process names from them.
+            auditor.observe(self._now, priority, event, self._queue)
         callbacks = event.callbacks
         event.callbacks = None  # marks the event processed
         if callbacks:
@@ -153,7 +176,9 @@ class Environment:
             stop_value = stop.value
             if isinstance(until, Event):
                 if not until.ok:
-                    raise t.cast(BaseException, until.value)
+                    # The event's own failure is the error; the internal
+                    # StopSimulation control-flow signal is not its cause.
+                    raise t.cast(BaseException, until.value) from None
                 return until.value
             if isinstance(until, (int, float)):
                 # Clamp the clock exactly at the stop time.

@@ -107,6 +107,38 @@ class Event:
         return self
 
 
+class Initialize(Event):
+    """Kernel bootstrap event that starts a process (URGENT priority).
+
+    A distinct type so diagnostics — notably the determinism auditor's
+    collision classifier — can tell deliberate program-order process
+    starts apart from ordinary same-instant ties.
+    """
+
+    __slots__ = ()
+
+
+class Resume(Event):
+    """Kernel bookkeeping event resuming a process immediately.
+
+    Used when a process yields an event that has already been processed
+    (its value is copied here) and when the kernel must re-deliver an
+    outcome at the current instant.
+    """
+
+    __slots__ = ()
+
+
+class Interruption(Event):
+    """Kernel event delivering an :class:`~repro.sim.process.Interrupt`.
+
+    Scheduled URGENT so interrupts overtake ordinary events at the same
+    instant.
+    """
+
+    __slots__ = ()
+
+
 class Timeout(Event):
     """An event that fires automatically ``delay`` seconds in the future."""
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import typing as t
 
 from repro.errors import SchedulingError, SimulationError
-from repro.sim.events import Event, URGENT
+from repro.sim.events import Event, Initialize, Interruption, Resume, URGENT
 
 if t.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.environment import Environment
@@ -65,7 +65,7 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         # Kick off the generator at the current simulation time via an
         # initialisation event so process start order is deterministic.
-        init = Event(env)
+        init = Initialize(env)
         init._ok = True
         init._value = None
         init.callbacks.append(self._resume)  # type: ignore[union-attr]
@@ -88,7 +88,7 @@ class Process(Event):
             raise SchedulingError(f"{self!r} has already terminated")
         if self.env.active_process is self:
             raise SchedulingError("a process cannot interrupt itself")
-        interrupt_event = Event(self.env)
+        interrupt_event = Interruption(self.env)
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
         # Deliver ahead of ordinary events scheduled for the same instant.
@@ -136,7 +136,7 @@ class Process(Event):
             )
         if next_target.processed:
             # Already fired and drained: resume immediately at this instant.
-            immediate = Event(self.env)
+            immediate = Resume(self.env)
             immediate._ok = next_target.ok
             immediate._value = next_target._value
             immediate.callbacks.append(self._resume)  # type: ignore[union-attr]

@@ -1,0 +1,1 @@
+"""Tests for the determinism analyzer (lint engine, rules, auditor)."""

@@ -1,0 +1,243 @@
+"""Runtime scheduling-race auditor: collisions, classification, fingerprint."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.audit import (
+    CATEGORY_CAUSAL_CHAIN,
+    CATEGORY_COINCIDENT,
+    CATEGORY_PROCESS_START,
+    CATEGORY_SAME_PROCESS,
+    DeterminismAuditor,
+)
+from repro.obs.bus import EventBus
+from repro.obs.events import SchedulingCollision
+from repro.sim import Environment
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def sleeper(env, delay):
+    yield env.timeout(delay)
+
+
+class TestIntentionalTie:
+    """Two independent timeouts landing on one instant — the textbook
+    unexplained collision the auditor exists to surface."""
+
+    def run_tied_pair(self):
+        env = Environment(audit=True)
+        env.process(sleeper(env, 5.0), name="alice")
+        env.process(sleeper(env, 5.0), name="bob")
+        env.run()
+        return env.auditor.report()
+
+    def test_exactly_one_coincident_collision(self):
+        report = self.run_tied_pair()
+        assert report.collisions == 1
+        coincident = [
+            s for s in report.sites if s.category == CATEGORY_COINCIDENT
+        ]
+        assert len(coincident) == 1
+
+    def test_site_names_both_processes(self):
+        report = self.run_tied_pair()
+        (site,) = [
+            s for s in report.sites if s.category == CATEGORY_COINCIDENT
+        ]
+        assert site.time == 5.0
+        assert site.processes == ("alice", "bob")
+        assert site.kinds == ("Timeout", "Timeout")
+        assert not site.explained
+
+    def test_process_starts_are_explained(self):
+        # The two Initialize bootstraps also tie at t=0; start order is
+        # program order, so they must not count as unexplained.
+        report = self.run_tied_pair()
+        starts = [
+            s for s in report.sites if s.category == CATEGORY_PROCESS_START
+        ]
+        assert len(starts) == 1
+        assert starts[0].explained
+        assert report.explained_collisions >= 1
+
+    def test_untied_run_reports_zero_collisions(self):
+        env = Environment(audit=True)
+        env.process(sleeper(env, 3.0), name="alice")
+        env.process(sleeper(env, 5.0), name="bob")
+        env.run()
+        report = env.auditor.report()
+        assert report.collisions == 0
+
+    def test_collision_event_reaches_the_bus(self):
+        env = Environment(audit=True)
+        seen = []
+        bus = EventBus()
+        bus.subscribe(SchedulingCollision, seen.append)
+        env.auditor.attach_bus(bus)
+        env.process(sleeper(env, 5.0), name="alice")
+        env.process(sleeper(env, 5.0), name="bob")
+        env.run()
+        coincident = [e for e in seen if e.category == CATEGORY_COINCIDENT]
+        assert len(coincident) == 1
+        assert coincident[0].processes == ("alice", "bob")
+        assert coincident[0].time == 5.0
+
+    def test_audit_off_means_no_auditor(self):
+        env = Environment()
+        assert env.auditor is None
+        env.process(sleeper(env, 5.0), name="alice")
+        env.process(sleeper(env, 5.0), name="bob")
+        env.run()  # identical behaviour, no recording
+
+
+class TestClassification:
+    """Category decisions exercised via the kernel, not by mocking."""
+
+    def test_causal_chain_is_explained(self):
+        # A zero-delay event scheduled during the tied instant (here:
+        # the Process-end event cascading from the first timeout) is
+        # ordered by program order, hence explained.
+        env = Environment(audit=True)
+        env.process(sleeper(env, 5.0), name="alice")
+        env.process(sleeper(env, 5.0), name="bob")
+        env.run()
+        report = env.auditor.report()
+        chains = [
+            s for s in report.sites if s.category == CATEGORY_CAUSAL_CHAIN
+        ]
+        assert chains  # Timeout-vs-Process-end and end-vs-end ties
+        assert all(s.explained for s in chains)
+
+    def test_same_process_tie_is_explained(self):
+        # One process waiting on two events that fire at the same
+        # instant: relative order cannot change that process's view.
+        env = Environment(audit=True)
+
+        def waiter(env):
+            yield env.all_of([env.timeout(5.0), env.timeout(5.0)])
+
+        env.process(waiter(env), name="alice")
+        env.run()
+        report = env.auditor.report()
+        assert report.collisions == 0
+        same = [
+            s for s in report.sites if s.category == CATEGORY_SAME_PROCESS
+        ]
+        assert same
+        assert same[0].processes == ("alice",)
+
+    def test_max_sites_caps_recording_but_not_counting(self):
+        env = Environment(audit=True)
+        env.auditor.max_sites = 2
+        for i in range(6):
+            env.process(sleeper(env, 5.0), name=f"p{i}")
+        env.run()
+        report = env.auditor.report()
+        assert len(report.sites) == 2
+        assert report.collisions + report.explained_collisions > 2
+
+
+class TestFingerprint:
+    def test_tie_order_does_not_change_fingerprint(self):
+        # Start order of the two tied processes is the only difference;
+        # the XOR accumulator must not see it.
+        def run(first, second):
+            env = Environment(audit=True)
+            env.process(sleeper(env, 5.0), name=first)
+            env.process(sleeper(env, 5.0), name=second)
+            env.run()
+            return env.auditor.report().fingerprint
+
+        assert run("alice", "bob") == run("bob", "alice")
+
+    def test_different_work_changes_fingerprint(self):
+        def run(delay):
+            env = Environment(audit=True)
+            env.process(sleeper(env, delay), name="alice")
+            env.run()
+            return env.auditor.report().fingerprint
+
+        assert run(3.0) != run(4.0)
+
+    def test_summary_mentions_the_key_numbers(self):
+        env = Environment(audit=True)
+        env.process(sleeper(env, 1.0), name="alice")
+        env.run()
+        report = env.auditor.report()
+        summary = report.summary()
+        assert f"steps={report.steps}" in summary
+        assert "collisions=0" in summary
+        assert report.fingerprint in summary
+
+
+class TestRunnerIntegration:
+    def test_result_carries_a_report_when_enabled(self):
+        from repro.experiments.config import SimulationConfig
+        from repro.experiments.runner import run_simulation
+
+        config = SimulationConfig(
+            horizon_hours=0.05, determinism_audit=True
+        )
+        result = run_simulation(config)
+        assert result.determinism is not None
+        assert result.determinism.collisions == 0
+        assert len(result.determinism.fingerprint) == 64
+
+    def test_result_has_no_report_by_default(self):
+        from repro.experiments.config import SimulationConfig
+        from repro.experiments.runner import run_simulation
+
+        result = run_simulation(SimulationConfig(horizon_hours=0.05))
+        assert result.determinism is None
+
+    def test_audit_does_not_perturb_the_run(self):
+        from repro.experiments.config import SimulationConfig
+        from repro.experiments.runner import run_simulation
+
+        plain = run_simulation(SimulationConfig(horizon_hours=0.05))
+        audited = run_simulation(
+            SimulationConfig(horizon_hours=0.05, determinism_audit=True)
+        )
+        assert plain.hit_ratio == audited.hit_ratio
+        assert plain.requests_served == audited.requests_served
+
+
+_FP_SCRIPT = """\
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import run_simulation
+
+result = run_simulation(
+    SimulationConfig(horizon_hours=0.05, determinism_audit=True)
+)
+report = result.determinism
+print(report.fingerprint, report.collisions)
+"""
+
+
+def _fingerprint_under_hash_seed(seed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = str(SRC)
+    out = subprocess.run(
+        [sys.executable, "-c", _FP_SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    fingerprint, collisions = out.stdout.split()
+    return fingerprint, int(collisions)
+
+
+class TestHashSeedIndependence:
+    """The acceptance bar: identical fingerprints and zero unexplained
+    collisions under different ``PYTHONHASHSEED`` values."""
+
+    def test_fingerprint_is_hash_seed_invariant(self):
+        fp_a, coll_a = _fingerprint_under_hash_seed("0")
+        fp_b, coll_b = _fingerprint_under_hash_seed("424242")
+        assert fp_a == fp_b
+        assert coll_a == coll_b == 0

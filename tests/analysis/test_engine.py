@@ -1,0 +1,155 @@
+"""Engine behaviour: selection, suppression, reporting, error handling."""
+
+import json
+
+import pytest
+
+from repro.analysis import all_rules, lint_paths, render_json, render_text
+from repro.analysis.engine import PARSE_ERROR_ID
+
+#: A snippet that violates REP001 (wall clock) and REP007 (mutable
+#: default) at known lines when written under ``repro/``.
+TWO_VIOLATIONS = """\
+import time
+
+
+def stamp(out=[]):
+    out.append(time.time())
+    return out
+"""
+
+
+def ids(findings):
+    return sorted({f.rule_id for f in findings})
+
+
+class TestRegistry:
+    def test_all_rules_cover_the_documented_catalogue(self):
+        expected = {f"REP00{n}" for n in range(1, 8)}
+        assert {rule.rule_id for rule in all_rules()} == expected
+
+    def test_every_rule_has_a_title(self):
+        assert all(rule.title for rule in all_rules())
+
+
+class TestSelection:
+    def test_unfiltered_reports_both(self, lint):
+        findings = lint("repro/sim/mod.py", TWO_VIOLATIONS)
+        assert ids(findings) == ["REP001", "REP007"]
+
+    def test_select_narrows_to_named_rules(self, lint):
+        findings = lint(
+            "repro/sim/mod.py", TWO_VIOLATIONS, select=["REP007"]
+        )
+        assert ids(findings) == ["REP007"]
+
+    def test_ignore_drops_named_rules(self, lint):
+        findings = lint(
+            "repro/sim/mod.py", TWO_VIOLATIONS, ignore=["REP001"]
+        )
+        assert ids(findings) == ["REP007"]
+
+    def test_unknown_select_id_is_an_error(self, lint):
+        with pytest.raises(ValueError, match="REP999"):
+            lint("repro/sim/mod.py", TWO_VIOLATIONS, select=["REP999"])
+
+    def test_unknown_ignore_id_is_an_error(self, lint):
+        with pytest.raises(ValueError, match="NOPE"):
+            lint("repro/sim/mod.py", TWO_VIOLATIONS, ignore=["NOPE1"])
+
+
+class TestPathHandling:
+    def test_directory_walk_finds_nested_files(self, tmp_path):
+        (tmp_path / "repro" / "sim").mkdir(parents=True)
+        (tmp_path / "repro" / "sim" / "a.py").write_text("import random\n")
+        (tmp_path / "repro" / "sim" / "__pycache__").mkdir()
+        (tmp_path / "repro" / "sim" / "__pycache__" / "a.py").write_text(
+            "import random\n"
+        )
+        findings = lint_paths([tmp_path], root=tmp_path)
+        assert ids(findings) == ["REP002"]
+        assert len(findings) == 1  # __pycache__ copy skipped
+
+    def test_syntax_error_becomes_rep000_finding(self, lint):
+        findings = lint("repro/sim/broken.py", "def f(:\n")
+        assert [f.rule_id for f in findings] == [PARSE_ERROR_ID]
+
+    def test_findings_are_ordered_by_path_then_line(self, tmp_path):
+        (tmp_path / "repro").mkdir()
+        (tmp_path / "repro" / "b.py").write_text("import random\n")
+        (tmp_path / "repro" / "a.py").write_text(
+            "import time\nx = time.time()\n"
+        )
+        findings = lint_paths([tmp_path], root=tmp_path)
+        assert [f.path for f in findings] == ["repro/a.py", "repro/b.py"]
+
+
+class TestNoqa:
+    def test_bare_noqa_suppresses_everything_on_the_line(self, lint):
+        findings = lint(
+            "repro/sim/mod.py",
+            "import time\nx = time.time()  # repro: noqa\n",
+        )
+        assert findings == []
+
+    def test_id_specific_noqa_suppresses_only_that_rule(self, lint):
+        source = (
+            "import time\n"
+            "\n"
+            "\n"
+            "def f(out=[]):  # repro: noqa REP007\n"
+            "    out.append(time.time())  # repro: noqa REP001\n"
+            "    return out\n"
+        )
+        assert lint("repro/sim/mod.py", source) == []
+
+    def test_wrong_id_does_not_suppress(self, lint):
+        findings = lint(
+            "repro/sim/mod.py",
+            "import time\nx = time.time()  # repro: noqa REP007\n",
+        )
+        assert ids(findings) == ["REP001"]
+
+    def test_noqa_with_reason_text_still_suppresses(self, lint):
+        findings = lint(
+            "repro/sim/mod.py",
+            "import time\n"
+            "x = time.time()  # repro: noqa REP001 -- startup stamp\n",
+        )
+        assert findings == []
+
+    def test_plain_noqa_comment_is_not_ours(self, lint):
+        # Only the "# repro: noqa" spelling counts; a bare "# noqa"
+        # (ruff/flake8's) must not silence the determinism rules.
+        findings = lint(
+            "repro/sim/mod.py",
+            "import time\nx = time.time()  # noqa\n",
+        )
+        assert ids(findings) == ["REP001"]
+
+
+class TestReporters:
+    def test_text_report_contains_location_and_summary(self, lint):
+        findings = lint("repro/sim/mod.py", TWO_VIOLATIONS)
+        text = render_text(findings)
+        assert "repro/sim/mod.py:4" in text
+        assert "REP007" in text
+        assert "2 finding(s)" in text
+
+    def test_text_report_when_clean(self):
+        assert "no findings" in render_text([])
+
+    def test_json_report_round_trips(self, lint):
+        findings = lint("repro/sim/mod.py", TWO_VIOLATIONS)
+        payload = json.loads(render_json(findings))
+        assert payload["version"] == 1
+        assert payload["counts"] == {"REP001": 1, "REP007": 1}
+        assert len(payload["findings"]) == 2
+        first = payload["findings"][0]
+        assert set(first) == {"path", "line", "col", "rule_id", "message"}
+        assert first["path"] == "repro/sim/mod.py"
+
+    def test_json_report_when_clean(self):
+        payload = json.loads(render_json([]))
+        assert payload["findings"] == []
+        assert payload["counts"] == {}

@@ -1,0 +1,271 @@
+"""One good and at least one bad snippet per REP rule."""
+
+
+def ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestREP001WallClock:
+    def test_time_time_is_flagged(self, lint):
+        findings = lint(
+            "repro/sim/mod.py", "import time\nstart = time.time()\n"
+        )
+        assert ids(findings) == ["REP001"]
+        assert findings[0].line == 2
+
+    def test_monotonic_and_datetime_now_are_flagged(self, lint):
+        findings = lint(
+            "repro/net/mod.py",
+            """\
+            import time
+            import datetime
+
+            a = time.monotonic()
+            b = datetime.datetime.now()
+            """,
+        )
+        assert ids(findings) == ["REP001", "REP001"]
+
+    def test_profiler_module_is_exempt(self, lint):
+        findings = lint(
+            "repro/obs/profiler.py", "import time\nt = time.perf_counter()\n"
+        )
+        assert findings == []
+
+    def test_env_now_is_fine(self, lint):
+        findings = lint(
+            "repro/sim/mod.py",
+            "def f(env):\n    return env.now + 5.0\n",
+        )
+        assert findings == []
+
+
+class TestREP002Randomness:
+    def test_import_random_is_flagged(self, lint):
+        assert ids(lint("repro/core/mod.py", "import random\n")) == [
+            "REP002"
+        ]
+
+    def test_from_random_import_is_flagged(self, lint):
+        findings = lint(
+            "repro/core/mod.py", "from random import shuffle\n"
+        )
+        assert ids(findings) == ["REP002"]
+
+    def test_numpy_random_attribute_is_flagged(self, lint):
+        findings = lint(
+            "repro/core/mod.py",
+            "import numpy as np\nx = np.random.rand()\n",
+        )
+        assert ids(findings) == ["REP002"]
+
+    def test_rand_module_itself_is_exempt(self, lint):
+        assert lint("repro/sim/rand.py", "import random\n") == []
+
+    def test_seeded_stream_import_is_fine(self, lint):
+        findings = lint(
+            "repro/core/mod.py",
+            "from repro.sim.rand import RandomStream\n",
+        )
+        assert findings == []
+
+
+class TestREP003UnorderedIteration:
+    def test_for_over_set_literal_is_flagged(self, lint):
+        findings = lint(
+            "repro/sim/mod.py",
+            "for x in {1, 2, 3}:\n    print(x)\n",
+        )
+        assert ids(findings) == ["REP003"]
+
+    def test_for_over_dict_items_is_flagged(self, lint):
+        findings = lint(
+            "repro/core/mod.py",
+            "def f(d):\n    for k, v in d.items():\n        print(k, v)\n",
+        )
+        assert ids(findings) == ["REP003"]
+
+    def test_listcomp_over_dict_keys_is_flagged(self, lint):
+        findings = lint(
+            "repro/net/mod.py",
+            "def f(d):\n    return [k for k in d.keys()]\n",
+        )
+        assert ids(findings) == ["REP003"]
+
+    def test_list_call_on_dict_keys_is_flagged(self, lint):
+        # A plain name is not flagged (the rule only fires on provably
+        # unordered expressions), but materialising a dict view is.
+        findings = lint(
+            "repro/client/mod.py",
+            "def f(d):\n    return list(d.keys())\n",
+        )
+        assert ids(findings) == ["REP003"]
+
+    def test_sorted_wrap_is_fine(self, lint):
+        findings = lint(
+            "repro/sim/mod.py",
+            "def f(d):\n    for k in sorted(d.items()):\n        print(k)\n",
+        )
+        assert findings == []
+
+    def test_reducer_context_is_fine(self, lint):
+        # sum/min/max/... are order-insensitive, so feeding them an
+        # unordered comprehension cannot leak hash order into the run.
+        findings = lint(
+            "repro/core/mod.py",
+            "def f(d):\n    return sum(v for v in d.values())\n",
+        )
+        assert findings == []
+
+    def test_set_comprehension_result_is_fine(self, lint):
+        findings = lint(
+            "repro/core/mod.py",
+            "def f(d):\n    return {k for k in d.keys()}\n",
+        )
+        assert findings == []
+
+    def test_out_of_scope_package_is_exempt(self, lint):
+        # Only the deterministic kernel packages are in scope; metrics
+        # post-processing may iterate however it likes.
+        findings = lint(
+            "repro/metrics/mod.py",
+            "def f(d):\n    for k, v in d.items():\n        print(k, v)\n",
+        )
+        assert findings == []
+
+
+class TestREP004FloatTimeEquality:
+    def test_eq_against_env_now_is_flagged(self, lint):
+        findings = lint(
+            "repro/sim/mod.py",
+            "def f(env, deadline):\n    return env.now == deadline\n",
+        )
+        assert ids(findings) == ["REP004"]
+
+    def test_neq_against_deadline_name_is_flagged(self, lint):
+        findings = lint(
+            "repro/net/mod.py",
+            "def f(deadline, t):\n    return t != deadline\n",
+        )
+        assert ids(findings) == ["REP004"]
+
+    def test_ordering_comparison_is_fine(self, lint):
+        findings = lint(
+            "repro/sim/mod.py",
+            "def f(env, deadline):\n    return env.now >= deadline\n",
+        )
+        assert findings == []
+
+    def test_equality_on_unrelated_values_is_fine(self, lint):
+        findings = lint(
+            "repro/sim/mod.py",
+            "def f(a, b):\n    return a == b\n",
+        )
+        assert findings == []
+
+
+class TestREP005FrozenObsEvents:
+    def test_unfrozen_event_class_is_flagged(self, lint):
+        findings = lint(
+            "repro/obs/mod.py",
+            """\
+            import dataclasses
+
+            from repro.obs.events import SimEvent
+
+
+            @dataclasses.dataclass
+            class Mutable(SimEvent):
+                x: int
+            """,
+        )
+        assert ids(findings) == ["REP005"]
+
+    def test_undecorated_event_class_is_flagged(self, lint):
+        findings = lint(
+            "repro/obs/mod.py",
+            """\
+            from repro.obs.events import SimEvent
+
+
+            class Plain(SimEvent):
+                pass
+            """,
+        )
+        assert ids(findings) == ["REP005"]
+
+    def test_frozen_event_class_is_fine(self, lint):
+        findings = lint(
+            "repro/obs/mod.py",
+            """\
+            import dataclasses
+
+            from repro.obs.events import SimEvent
+
+
+            @dataclasses.dataclass(frozen=True)
+            class Good(SimEvent):
+                x: int
+            """,
+        )
+        assert findings == []
+
+    def test_non_event_class_is_ignored(self, lint):
+        findings = lint(
+            "repro/obs/mod.py",
+            "class Helper:\n    value = 1\n",
+        )
+        assert findings == []
+
+
+class TestREP006YieldEventsOnly:
+    def test_bare_yield_is_flagged(self, lint):
+        findings = lint(
+            "repro/sim/mod.py",
+            "def proc(env):\n    yield\n",
+        )
+        assert ids(findings) == ["REP006"]
+
+    def test_yield_literal_is_flagged(self, lint):
+        findings = lint(
+            "repro/sim/mod.py",
+            "def proc(env):\n    yield 5\n",
+        )
+        assert ids(findings) == ["REP006"]
+
+    def test_yield_timeout_is_fine(self, lint):
+        findings = lint(
+            "repro/sim/mod.py",
+            "def proc(env):\n    yield env.timeout(1.0)\n",
+        )
+        assert findings == []
+
+
+class TestREP007MutableDefaults:
+    def test_list_default_is_flagged(self, lint):
+        findings = lint(
+            "repro/core/mod.py",
+            "def f(out=[]):\n    return out\n",
+        )
+        assert ids(findings) == ["REP007"]
+
+    def test_dict_keyword_only_default_is_flagged(self, lint):
+        findings = lint(
+            "repro/core/mod.py",
+            "def f(*, cache={}):\n    return cache\n",
+        )
+        assert ids(findings) == ["REP007"]
+
+    def test_constructor_call_default_is_flagged(self, lint):
+        findings = lint(
+            "repro/core/mod.py",
+            "def f(out=list()):\n    return out\n",
+        )
+        assert ids(findings) == ["REP007"]
+
+    def test_none_and_tuple_defaults_are_fine(self, lint):
+        findings = lint(
+            "repro/core/mod.py",
+            "def f(a=None, b=(), c=0):\n    return a, b, c\n",
+        )
+        assert findings == []

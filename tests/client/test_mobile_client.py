@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.client.mobile_client import MobileClient
 from repro.core.granularity import CachingGranularity
 from repro.net.disconnect import DisconnectionSchedule
 from repro.net.network import Network
@@ -11,7 +12,6 @@ from repro.oodb.query import AttributeAccess, Query, QueryKind
 from repro.oodb.server import DatabaseServer
 from repro.sim.environment import Environment
 from repro.sim.rand import RandomStream
-from repro.client.mobile_client import MobileClient
 from repro.workload.heat import UniformHeat
 from repro.workload.queries import QueryWorkload
 

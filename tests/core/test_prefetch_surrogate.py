@@ -67,6 +67,21 @@ class TestAttributeAccessTracker:
         assert tracker.prefetch_set(0, root) == {"a0", "a1", "a2"}
 
 
+    def test_probability_keys_are_sorted_regardless_of_access_order(self):
+        # Regression for the REP003 fix: the returned mapping's build
+        # order comes from sorted(...), not from dict insertion order.
+        def record_all(order):
+            tracker = AttributeAccessTracker()
+            for name in order:
+                tracker.record_access(0, "Root", name)
+            return tracker.access_probabilities(0, "Root")
+
+        forward = record_all(["a0", "a1", "a2"])
+        backward = record_all(["a2", "a1", "a0"])
+        assert list(forward) == list(backward) == ["a0", "a1", "a2"]
+        assert forward == backward
+
+
 class TestLocalDatabase:
     def build(self, granularity=CachingGranularity.ATTRIBUTE):
         schema = default_root_schema()

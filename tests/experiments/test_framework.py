@@ -2,14 +2,6 @@
 
 import pytest
 
-from repro.experiments import report
-from repro.experiments.framework import (
-    ExperimentRow,
-    ExperimentTable,
-    FAST_HORIZON_HOURS,
-    FULL_HORIZON_HOURS,
-    default_horizon_hours,
-)
 from repro.experiments import (
     exp1_granularity,
     exp2_replacement_ro,
@@ -17,6 +9,14 @@ from repro.experiments import (
     exp4_adaptivity,
     exp5_coherence,
     exp6_disconnect,
+    report,
+)
+from repro.experiments.framework import (
+    ExperimentRow,
+    ExperimentTable,
+    FAST_HORIZON_HOURS,
+    FULL_HORIZON_HOURS,
+    default_horizon_hours,
 )
 from repro.experiments.tables import render_table1, table1_rows
 

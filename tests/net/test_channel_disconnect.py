@@ -4,10 +4,10 @@ import pytest
 
 from repro.errors import NetworkError
 from repro.net.channel import WirelessChannel
-from repro.sim.process import Interrupt
 from repro.net.disconnect import DisconnectionSchedule, plan_single_windows
 from repro.net.network import Network
 from repro.sim.environment import Environment
+from repro.sim.process import Interrupt
 from repro.sim.rand import RandomStream
 
 
@@ -188,6 +188,22 @@ class TestDisconnectionSchedule:
     def test_disconnected_clients_listed(self):
         schedule = DisconnectionSchedule({2: [(0.0, 1.0)], 0: [(0.0, 1.0)]})
         assert schedule.disconnected_clients() == [0, 2]
+
+    def test_construction_is_insertion_order_independent(self):
+        # Regression for the REP003 fix: the constructor iterates
+        # sorted(windows.items()), so the mapping's build order cannot
+        # change the schedule.
+        forward = DisconnectionSchedule(
+            {0: [(0.0, 1.0)], 1: [(2.0, 3.0)], 2: [(4.0, 5.0)]}
+        )
+        backward = DisconnectionSchedule(
+            {2: [(4.0, 5.0)], 1: [(2.0, 3.0)], 0: [(0.0, 1.0)]}
+        )
+        assert forward.disconnected_clients() == backward.disconnected_clients()
+        for client_id in (0, 1, 2):
+            assert forward.windows_of(client_id) == backward.windows_of(
+                client_id
+            )
 
 
 class TestPlanSingleWindows:

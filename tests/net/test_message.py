@@ -162,3 +162,36 @@ class TestReplySize:
     def test_trailer_flag_defaults_false(self):
         reply = ReplyMessage(client_id=0, query_id=1, items=())
         assert not reply.is_trailer
+
+
+class TestSizeIsInsertionOrderIndependent:
+    """Regression for the REP003 fixes: wire sizes are iterated via
+    sorted(...) so dict build order can never reach the accounting."""
+
+    def test_needed_order(self):
+        def make(needed):
+            return RequestMessage(
+                client_id=0,
+                query_id=1,
+                granularity=CachingGranularity.ATTRIBUTE,
+                needed=needed,
+            )
+
+        forward = {oid(n): ("a0", "a1") for n in (1, 2, 3)}
+        backward = {oid(n): ("a0", "a1") for n in (3, 2, 1)}
+        assert make(forward).size_bytes == make(backward).size_bytes
+
+    def test_updates_order(self):
+        def make(updates):
+            return RequestMessage(
+                client_id=0,
+                query_id=1,
+                granularity=CachingGranularity.ATTRIBUTE,
+                needed={},
+                updates=updates,
+            )
+
+        changes = (UpdateValue("a0", 7, 80),)
+        forward = {oid(n): changes for n in (1, 2, 3)}
+        backward = {oid(n): changes for n in (3, 2, 1)}
+        assert make(forward).size_bytes == make(backward).size_bytes
