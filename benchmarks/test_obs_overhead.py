@@ -96,3 +96,47 @@ def test_guarded_emit_site_costs_a_probe_when_off():
     # A dict probe plus tuple truthiness; a healthy margin over any
     # plausible interpreter, but far below event construction cost.
     assert per_check < 2e-6
+
+
+def test_invariant_checking_overhead_under_budget():
+    """`--invariants` must stay within the obs overhead budget.
+
+    Same extrapolation scheme as the bus benchmark: per-event cost of
+    `InvariantEngine.feed` on the hottest event type, projected to the
+    base run's real event volume, bounded by 5% of its wall clock.
+    """
+    from repro.analysis.invariants import InvariantEngine
+    from repro.experiments.runner import Simulation
+
+    config = SimulationConfig(horizon_hours=horizon(0.5))
+    run_started = time.perf_counter()
+    result = run_simulation(config)
+    run_seconds = time.perf_counter() - run_started
+    total_events = sum(result.event_counts.values())
+
+    engine = InvariantEngine()
+    event = CacheAccess(
+        time=1.0, client_id=0, key="oid", hit=True, error=False,
+        answered=True, connected=True,
+    )
+
+    def feed_loop():
+        feed = engine.feed
+        for __ in range(MICRO_EMITS):
+            feed(event)
+
+    per_event = _time(feed_loop) / MICRO_EMITS
+    projected = per_event * total_events
+    share = projected / run_seconds
+    print(
+        f"\nrun {run_seconds:.2f}s, {total_events} events, "
+        f"invariant feed {per_event * 1e9:.0f} ns/event "
+        f"-> {projected * 1e3:.1f} ms projected ({share:.2%} of run)"
+    )
+    assert share < BUDGET, (
+        f"invariant checking projects to {share:.2%} of the run's wall "
+        f"clock (budget {BUDGET:.0%})"
+    )
+
+    # Strictly zero-cost when off: no engine object, nothing subscribed.
+    assert Simulation(config).invariant_engine is None

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""CI invariant smoke check: protocol laws over the smoke matrix.
+
+Runs short simulations over the AC/OC/HC granularities — each with
+faults off (experiment-1 conditions) and with loss + retry recovery on
+(experiment-7 conditions) — with the in-process invariant checkers
+attached *and* a JSONL trace exported, then replays every trace through
+``check_trace``.  Both passes must report zero violations: the
+in-process pass additionally reconciles event-derived totals against
+the live metrics/channel/cache objects, and the replay pass proves the
+persisted trace alone carries enough evidence to verify the protocol.
+
+On failure the offending trace files stay in ``--outdir`` (default
+``invariant-traces/``) so CI can upload them as artifacts; on success
+the directory is removed.
+
+Usage::
+
+    PYTHONPATH=src python scripts/invariant_smoke.py [--hours H]
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+from pathlib import Path
+
+GRANULARITIES = ("AC", "OC", "HC")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--hours",
+        type=float,
+        default=2.0,
+        help="simulated horizon per run (default: 2.0)",
+    )
+    parser.add_argument(
+        "--outdir",
+        default="invariant-traces",
+        help="directory for trace files (kept only on failure)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.analysis.invariants import check_trace
+    from repro.experiments.config import SimulationConfig
+    from repro.experiments.runner import run_simulation
+
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    failures = 0
+    for granularity in GRANULARITIES:
+        for faults in (False, True):
+            label = f"{granularity}-{'faults' if faults else 'clean'}"
+            trace_path = outdir / f"{label}.jsonl"
+            config = SimulationConfig(
+                granularity=granularity,
+                horizon_hours=args.hours,
+                invariants=True,
+                trace_path=str(trace_path),
+                loss_rate=0.05 if faults else 0.0,
+                request_timeout_seconds=20.0 if faults else 0.0,
+                retry_budget=3 if faults else 0,
+            )
+            result = run_simulation(config)
+            live = result.invariants
+            assert live is not None
+            replay = check_trace(str(trace_path))
+            ok = live.ok and replay.ok
+            status = "ok" if ok else "FAIL"
+            print(
+                f"[{status}] {label:<12} live: {live.summary()} | "
+                f"replay: {replay.summary()}"
+            )
+            if not ok:
+                failures += 1
+                for violation in (live.violations + replay.violations)[:20]:
+                    print(f"    {violation.formatted()}")
+                print(f"    trace kept at {trace_path}")
+            else:
+                trace_path.unlink()
+
+    if failures:
+        print(
+            f"{failures} configuration(s) violated protocol invariants; "
+            f"traces left in {outdir}/",
+            file=sys.stderr,
+        )
+        return 1
+    shutil.rmtree(outdir, ignore_errors=True)
+    print("all smoke configurations satisfy every invariant")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

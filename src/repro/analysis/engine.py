@@ -105,6 +105,25 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """A rule that needs every linted file at once.
+
+    Per-file rules cannot see cross-module facts (an event type emitted
+    in one module and consumed in another).  A project rule receives
+    the full list of parsed files after the per-file pass and yields
+    findings against any of them; suppression comments apply exactly as
+    for per-file findings.
+    """
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> t.Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, files: t.Sequence[tuple[ast.Module, FileContext]]
+    ) -> t.Iterator[Finding]:
+        raise NotImplementedError
+
+
 _REGISTRY: dict[str, type[Rule]] = {}
 
 R = t.TypeVar("R", bound=type[Rule])
@@ -200,7 +219,11 @@ def lint_paths(
             raise ValueError(f"unknown rule ids ignored: {sorted(unknown)}")
         rules = [rule for rule in rules if rule.rule_id not in dropped]
 
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+
     findings: list[Finding] = []
+    parsed: list[tuple[ast.Module, FileContext]] = []
     for path in iter_python_files(paths):
         try:
             source = path.read_text(encoding="utf-8")
@@ -223,11 +246,19 @@ def lint_paths(
                 )
             )
             continue
-        for rule in rules:
+        parsed.append((tree, ctx))
+        for rule in file_rules:
             if not rule.applies_to(ctx):
                 continue
             for finding in rule.check(tree, ctx):
                 if not _is_suppressed(finding, ctx.lines):
+                    findings.append(finding)
+    if project_rules:
+        lines_by_path = {ctx.rel_path: ctx.lines for _, ctx in parsed}
+        for rule in project_rules:
+            for finding in rule.check_project(parsed):
+                lines = lines_by_path.get(finding.path, [])
+                if not _is_suppressed(finding, lines):
                     findings.append(finding)
     findings.sort()
     return findings

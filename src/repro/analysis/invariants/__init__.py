@@ -1,0 +1,71 @@
+"""Streaming protocol-invariant verification over obs event streams.
+
+Three checker families prove, from the event stream alone, that a run
+obeyed the paper's protocol contracts:
+
+* **coherence** (``COHxxx``) — the refresh-time contract: no cache hit
+  past an entry's refresh deadline, no hit flagged stale, event-derived
+  hit/error counts equal the metrics layer's;
+* **causality** (``CAUxxx``) — replies pair with prior requests,
+  completions follow accesses, retry attempts count up by one;
+* **conservation** (``CONxxx``) — channel bytes, cache occupancy and
+  query lifecycles balance exactly, and reconcile against the live
+  channel/cache/network objects after an in-process run.
+
+Use :func:`check_trace` on a persisted JSONL trace (the ``repro
+check-trace`` subcommand), or :class:`InvariantEngine` attached to a
+live :class:`~repro.obs.bus.EventBus` (``repro run --invariants``).
+The catalog mapping paper claims to checker ids lives in DESIGN.md §12.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.invariants.causality import CausalityChecker
+from repro.analysis.invariants.coherence import CoherenceChecker
+from repro.analysis.invariants.conservation import (
+    CacheConservationChecker,
+    ChannelConservationChecker,
+    QueryConservationChecker,
+    StructuralChecker,
+)
+from repro.analysis.invariants.engine import (
+    DEFAULT_MAX_VIOLATIONS,
+    InvariantChecker,
+    InvariantEngine,
+    InvariantReport,
+    RunContext,
+    Violation,
+    check_trace,
+    decode_record,
+)
+
+
+def default_checkers() -> list[InvariantChecker]:
+    """One fresh instance of every built-in checker, stable order."""
+    return [
+        CoherenceChecker(),
+        CausalityChecker(),
+        ChannelConservationChecker(),
+        CacheConservationChecker(),
+        QueryConservationChecker(),
+        StructuralChecker(),
+    ]
+
+
+__all__ = [
+    "DEFAULT_MAX_VIOLATIONS",
+    "CacheConservationChecker",
+    "CausalityChecker",
+    "ChannelConservationChecker",
+    "CoherenceChecker",
+    "InvariantChecker",
+    "InvariantEngine",
+    "InvariantReport",
+    "QueryConservationChecker",
+    "RunContext",
+    "StructuralChecker",
+    "Violation",
+    "check_trace",
+    "decode_record",
+    "default_checkers",
+]

@@ -1,0 +1,450 @@
+"""Conservation checkers: nothing is created or destroyed untracked.
+
+Every byte of airtime, every cache slot and every query must be
+accounted for exactly once — the laws behind the byte/query accounting
+that produces the paper's Figures 4-11:
+
+* **CON001** — channel byte conservation: each transmission exits as
+  exactly one of delivered/dropped/aborted, full-airtime outcomes
+  carry their full byte count, aborts carry a partial one, and per
+  channel ``goodput <= raw = completed + aborted partials``.
+* **CON002** — fault accounting: every dropped transmission pairs with
+  one injected ``drop`` fault, and the injector never reports more
+  aborts than the channel saw.
+* **CON003** — cache occupancy: ``admits - evicts - invalidations``
+  equals occupancy, which never goes negative nor exceeds the cache's
+  byte budget at any step.
+* **CON004** — query conservation: per client, query ids complete
+  exactly once in issue order, and every degraded query still reaches
+  its completion.
+* **CON005** — structural sanity: durations, ages and byte counts are
+  non-negative and fault kinds are from the known set.
+
+Family totals reconcile against the live run objects (``CON006`` for
+channels/network, ``CON007`` for caches) when a :class:`RunContext`
+is available.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.invariants.engine import InvariantChecker, RunContext
+from repro.obs.events import (
+    KIND_ABORT,
+    KIND_BURST_ENTER,
+    KIND_BURST_EXIT,
+    KIND_DROP,
+    OUTCOME_ABORTED,
+    OUTCOME_DELIVERED,
+    OUTCOME_DROPPED,
+    CacheAccess,
+    CacheAdmit,
+    CacheEvict,
+    CacheInvalidate,
+    FaultEvent,
+    QueryComplete,
+    QueryDegraded,
+    RefreshExpired,
+    ResourceWait,
+    SimEvent,
+    TransmitOutcome,
+)
+
+#: Slack for accumulated float byte counters (partial aborts divide).
+BYTE_EPS = 1e-6
+_OUTCOMES = (OUTCOME_DELIVERED, OUTCOME_DROPPED, OUTCOME_ABORTED)
+_FAULT_KINDS = (KIND_DROP, KIND_ABORT, KIND_BURST_ENTER, KIND_BURST_EXIT)
+
+
+@dataclasses.dataclass
+class _ChannelState:
+    """Per-channel byte and message tallies."""
+
+    bytes_carried: float = 0.0
+    bytes_delivered: float = 0.0
+    bytes_aborted: float = 0.0
+    delivered: int = 0
+    dropped: int = 0
+    aborted: int = 0
+    fault_drops: int = 0
+    fault_aborts: int = 0
+    faults_seen: int = 0
+
+
+class ChannelConservationChecker(InvariantChecker):
+    """CON001-CON002 (+CON006 reconcile): channel byte conservation."""
+
+    checker_id = "CON-channel"
+    title = "per-channel byte conservation and fault accounting"
+    event_types = (TransmitOutcome, FaultEvent)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._channels: dict[str, _ChannelState] = {}
+
+    def _channel(self, name: str) -> _ChannelState:
+        state = self._channels.get(name)
+        if state is None:
+            state = _ChannelState()
+            self._channels[name] = state
+        return state
+
+    # ------------------------------------------------------------------
+    def on_event(self, event: SimEvent) -> None:
+        if isinstance(event, TransmitOutcome):
+            self._on_outcome(event)
+        elif isinstance(event, FaultEvent):
+            self._on_fault(event)
+
+    def _on_outcome(self, event: TransmitOutcome) -> None:
+        state = self._channel(event.channel)
+        scope = f"channel-{event.channel}"
+        if event.outcome not in _OUTCOMES:
+            self.violation(
+                "CON001",
+                event.time,
+                scope,
+                f"unknown transmission outcome {event.outcome!r}",
+            )
+            return
+        if event.size_bytes < 0 or event.airtime_seconds < 0:
+            self.violation(
+                "CON001",
+                event.time,
+                scope,
+                f"negative size ({event.size_bytes:g}B) or airtime "
+                f"({event.airtime_seconds:g}s)",
+            )
+        if event.outcome == OUTCOME_ABORTED:
+            if not -BYTE_EPS <= event.bytes_on_air <= (
+                event.size_bytes + BYTE_EPS
+            ):
+                self.violation(
+                    "CON001",
+                    event.time,
+                    scope,
+                    f"aborted transmission put {event.bytes_on_air:g}B "
+                    f"on air for a {event.size_bytes:g}B message",
+                )
+            state.aborted += 1
+            state.bytes_aborted += event.bytes_on_air
+            return
+        if abs(event.bytes_on_air - event.size_bytes) > BYTE_EPS:
+            self.violation(
+                "CON001",
+                event.time,
+                scope,
+                f"completed transmission carried {event.bytes_on_air:g}B "
+                f"on air but is sized {event.size_bytes:g}B",
+            )
+        state.bytes_carried += event.size_bytes
+        if event.outcome == OUTCOME_DELIVERED:
+            state.delivered += 1
+            state.bytes_delivered += event.size_bytes
+        else:
+            state.dropped += 1
+
+    def _on_fault(self, event: FaultEvent) -> None:
+        state = self._channel(event.channel)
+        state.faults_seen += 1
+        if event.kind == KIND_DROP:
+            state.fault_drops += 1
+        elif event.kind == KIND_ABORT:
+            state.fault_aborts += 1
+        elif event.kind not in _FAULT_KINDS:
+            self.violation(
+                "CON005",
+                event.time,
+                f"channel-{event.channel}",
+                f"unknown fault kind {event.kind!r}",
+            )
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        for name, state in sorted(self._channels.items()):
+            scope = f"channel-{name}"
+            raw = state.bytes_carried + state.bytes_aborted
+            if state.bytes_delivered > raw + BYTE_EPS:
+                self.violation(
+                    "CON001",
+                    0.0,
+                    scope,
+                    f"goodput ({state.bytes_delivered:g}B) exceeds raw "
+                    f"airtime ({raw:g}B)",
+                )
+            if not state.faults_seen:
+                continue
+            if state.fault_drops != state.dropped:
+                self.violation(
+                    "CON002",
+                    0.0,
+                    scope,
+                    f"{state.dropped} dropped transmissions but "
+                    f"{state.fault_drops} injected drop faults",
+                )
+            if state.fault_aborts > state.aborted:
+                self.violation(
+                    "CON002",
+                    0.0,
+                    scope,
+                    f"injector recorded {state.fault_aborts} aborts but "
+                    f"the channel only saw {state.aborted}",
+                )
+
+    def reconcile(self, context: RunContext) -> None:
+        raw = 0.0
+        goodput = 0.0
+        for name, stats in sorted(context.channel_stats.items()):
+            state = self._channels.get(name, _ChannelState())
+            raw += state.bytes_carried + state.bytes_aborted
+            goodput += state.bytes_delivered
+            pairs = (
+                ("bytes carried", state.bytes_carried, stats.bytes_carried),
+                (
+                    "bytes delivered",
+                    state.bytes_delivered,
+                    stats.bytes_delivered,
+                ),
+                ("bytes aborted", state.bytes_aborted, stats.bytes_aborted),
+                (
+                    "messages dropped",
+                    float(state.dropped),
+                    float(stats.messages_dropped),
+                ),
+                (
+                    "messages aborted",
+                    float(state.aborted),
+                    float(stats.messages_aborted),
+                ),
+            )
+            for label, from_events, from_stats in pairs:
+                if abs(from_events - from_stats) > BYTE_EPS:
+                    self.violation(
+                        "CON006",
+                        0.0,
+                        f"channel-{name}",
+                        f"{label} derived from events ({from_events:g}) "
+                        f"!= channel stats ({from_stats:g})",
+                    )
+        if context.channel_stats:
+            if abs(raw - context.raw_bytes) > BYTE_EPS:
+                self.violation(
+                    "CON006",
+                    0.0,
+                    "network",
+                    f"raw bytes from events ({raw:g}) != network total "
+                    f"({context.raw_bytes:g})",
+                )
+            if abs(goodput - context.goodput_bytes) > BYTE_EPS:
+                self.violation(
+                    "CON006",
+                    0.0,
+                    "network",
+                    f"goodput from events ({goodput:g}) != network "
+                    f"total ({context.goodput_bytes:g})",
+                )
+
+
+@dataclasses.dataclass
+class _CacheState:
+    """Per-(client, cache) occupancy ledger."""
+
+    occupancy: int = 0
+    capacity: int = 0
+    admits: int = 0
+    evicts: int = 0
+    invalidations: int = 0
+    over_capacity_reported: bool = False
+
+
+class CacheConservationChecker(InvariantChecker):
+    """CON003 (+CON007 reconcile): cache slots are conserved."""
+
+    checker_id = "CON-cache"
+    title = "cache occupancy ledger: admits - evicts = occupancy <= capacity"
+    event_types = (CacheAdmit, CacheEvict, CacheInvalidate)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._caches: dict[tuple[int, str], _CacheState] = {}
+
+    def _cache(self, client_id: int, cache: str) -> _CacheState:
+        state = self._caches.get((client_id, cache))
+        if state is None:
+            state = _CacheState()
+            self._caches[(client_id, cache)] = state
+        return state
+
+    # ------------------------------------------------------------------
+    def on_event(self, event: SimEvent) -> None:
+        state = self._cache(event.client_id, event.cache)  # type: ignore[attr-defined]
+        scope = f"client-{event.client_id}/{event.cache}"  # type: ignore[attr-defined]
+        if isinstance(event, CacheAdmit):
+            state.admits += 1
+            state.occupancy += event.size_bytes
+            if event.capacity_bytes > 0:
+                state.capacity = event.capacity_bytes
+            if (
+                state.capacity
+                and state.occupancy > state.capacity
+                and not state.over_capacity_reported
+            ):
+                state.over_capacity_reported = True
+                self.violation(
+                    "CON003",
+                    event.time,
+                    scope,
+                    f"occupancy {state.occupancy}B exceeds capacity "
+                    f"{state.capacity}B after admit",
+                )
+            return
+        if isinstance(event, CacheEvict):
+            state.evicts += 1
+        else:
+            state.invalidations += 1
+        state.occupancy -= event.size_bytes  # type: ignore[attr-defined]
+        if state.occupancy < 0:
+            self.violation(
+                "CON003",
+                event.time,  # type: ignore[attr-defined]
+                scope,
+                f"occupancy went negative ({state.occupancy}B): more "
+                "bytes removed than were ever admitted",
+            )
+            # Clamp so one miscount does not cascade into a violation
+            # per subsequent event.
+            state.occupancy = 0
+
+    def reconcile(self, context: RunContext) -> None:
+        for (client_id, name), cache in sorted(context.caches.items()):
+            state = self._caches.get((client_id, name), _CacheState())
+            scope = f"client-{client_id}/{name}"
+            if state.occupancy != cache.used_bytes:
+                self.violation(
+                    "CON007",
+                    0.0,
+                    scope,
+                    f"event ledger occupancy ({state.occupancy}B) != "
+                    f"live cache ({cache.used_bytes}B)",
+                )
+            if state.admits != cache.admissions:
+                self.violation(
+                    "CON007",
+                    0.0,
+                    scope,
+                    f"admits from events ({state.admits}) != cache "
+                    f"admission count ({cache.admissions})",
+                )
+            if state.evicts != cache.evictions:
+                self.violation(
+                    "CON007",
+                    0.0,
+                    scope,
+                    f"evicts from events ({state.evicts}) != cache "
+                    f"eviction count ({cache.evictions})",
+                )
+
+
+class QueryConservationChecker(InvariantChecker):
+    """CON004: queries complete exactly once, in issue order."""
+
+    checker_id = "CON-query"
+    title = "query ids complete once, in order; degraded queries complete"
+    event_types = (QueryComplete, QueryDegraded)
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: client_id -> (last completed query id, pending degraded id).
+        self._last_completed: dict[int, int] = {}
+        self._pending_degraded: dict[int, int] = {}
+
+    def on_event(self, event: SimEvent) -> None:
+        assert isinstance(event, (QueryComplete, QueryDegraded))
+        client_id = event.client_id
+        query_id = event.query_id
+        scope = f"client-{client_id}/query-{query_id}"
+        last = self._last_completed.get(client_id, 0)
+        pending = self._pending_degraded.get(client_id)
+        if isinstance(event, QueryDegraded):
+            if query_id <= last:
+                self.violation(
+                    "CON004",
+                    event.time,
+                    scope,
+                    f"QueryDegraded for query {query_id} which already "
+                    f"completed (last completed: {last})",
+                )
+            if pending is not None and pending != query_id:
+                self.violation(
+                    "CON004",
+                    event.time,
+                    scope,
+                    f"degraded query {pending} never completed before "
+                    f"query {query_id} degraded",
+                )
+            self._pending_degraded[client_id] = query_id
+            return
+        if query_id <= last:
+            self.violation(
+                "CON004",
+                event.time,
+                scope,
+                f"QueryComplete out of issue order: query {query_id} "
+                f"after query {last} already completed",
+            )
+        if pending is not None:
+            if pending != query_id:
+                self.violation(
+                    "CON004",
+                    event.time,
+                    scope,
+                    f"degraded query {pending} never completed before "
+                    f"query {query_id} did",
+                )
+            self._pending_degraded.pop(client_id, None)
+        self._last_completed[client_id] = max(last, query_id)
+
+
+class StructuralChecker(InvariantChecker):
+    """CON005: durations, ages and sizes are physically plausible."""
+
+    checker_id = "CON-structural"
+    title = "non-negative durations, ages and byte counts"
+    event_types = (
+        ResourceWait,
+        QueryComplete,
+        CacheAccess,
+        RefreshExpired,
+    )
+
+    def on_event(self, event: SimEvent) -> None:
+        bad: list[tuple[str, float]] = []
+        if isinstance(event, ResourceWait):
+            scope = f"resource-{event.resource}"
+            if event.wait_seconds < 0:
+                bad.append(("wait_seconds", event.wait_seconds))
+            if event.hold_seconds < 0:
+                bad.append(("hold_seconds", event.hold_seconds))
+        elif isinstance(event, QueryComplete):
+            scope = f"client-{event.client_id}/query-{event.query_id}"
+            if event.response_seconds < 0:
+                bad.append(("response_seconds", event.response_seconds))
+        elif isinstance(event, CacheAccess):
+            scope = f"client-{event.client_id}/{event.key}"
+            age = event.age_seconds
+            if age is not None and age < 0:
+                bad.append(("age_seconds", age))
+        else:
+            assert isinstance(event, RefreshExpired)
+            scope = f"client-{event.client_id}/{event.key}"
+            if event.age_seconds < 0:
+                bad.append(("age_seconds", event.age_seconds))
+        for field, value in bad:
+            self.violation(
+                "CON005",
+                event.time,
+                scope,
+                f"{type(event).__name__}.{field} is negative "
+                f"({value:g})",
+            )

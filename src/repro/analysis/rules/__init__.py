@@ -11,6 +11,7 @@ from repro.analysis.rules import (  # noqa: F401
     floats,
     ordering,
     randomness,
+    taxonomy,
     wallclock,
 )
 
@@ -20,5 +21,6 @@ __all__ = [
     "floats",
     "ordering",
     "randomness",
+    "taxonomy",
     "wallclock",
 ]

@@ -6,6 +6,9 @@ Examples::
     repro-mobicache run --granularity HC --replacement ewma-0.5 --hours 8
     repro-mobicache run --trace out.jsonl --profile --hours 2
     repro-mobicache trace summarize out.jsonl
+    repro-mobicache trace summarize out.jsonl --event-type CacheAccess --top 10
+    repro-mobicache run --invariants --hours 2
+    repro-mobicache check-trace out.jsonl
     repro-mobicache experiment 1 --hours 8
     repro-mobicache experiment all --hours 4
     repro-mobicache list-policies
@@ -98,6 +101,9 @@ def _build_parser() -> argparse.ArgumentParser:
     obs_group.add_argument("--determinism-audit", action="store_true",
                            help="audit same-instant scheduling ties and "
                                 "print the run's trace fingerprint")
+    obs_group.add_argument("--invariants", action="store_true",
+                           help="run the protocol-invariant checkers "
+                                "in-process and print their report")
 
     trace_parser = sub.add_parser(
         "trace", help="inspect a JSONL event trace"
@@ -108,6 +114,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "summarize", help="per-type event counts and time span"
     )
     summarize_parser.add_argument("path", help="trace file (.jsonl)")
+    summarize_parser.add_argument("--event-type", default=None, metavar="T",
+                                  dest="event_type",
+                                  help="restrict to one event type and "
+                                       "list its hottest objects/clients")
+    summarize_parser.add_argument("--top", type=int, default=10, metavar="N",
+                                  help="hottest identities to list with "
+                                       "--event-type (default: 10)")
+
+    check_parser = sub.add_parser(
+        "check-trace",
+        help="replay a JSONL trace through the protocol-invariant "
+             "checkers (exit 1 on violations)",
+    )
+    check_parser.add_argument("path", help="trace file (.jsonl)")
+    check_parser.add_argument("--format", choices=("text", "json"),
+                              default="text", dest="output_format")
+    check_parser.add_argument("--max-violations", type=int, default=100,
+                              help="violations recorded before further "
+                                   "ones are only counted (default: 100)")
 
     exp_parser = sub.add_parser(
         "experiment", help="run a paper experiment (1-7 or 'all')"
@@ -169,6 +194,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         profile=args.profile,
         staleness_timeline=args.staleness_timeline,
         determinism_audit=args.determinism_audit,
+        invariants=args.invariants,
     )
     result = run_simulation(config)
     print(f"configuration : {config.label()}")
@@ -213,6 +239,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"max={bucket.max_age_seconds:>8.1f}s "
                   f"stale={bucket.stale_fraction:.1%} "
                   f"err={bucket.error_fraction:.1%}")
+    if result.invariants is not None:
+        print(f"invariants    : {result.invariants.summary()}")
+        for violation in result.invariants.violations:
+            print(f"  {violation.formatted()}")
+        if not result.invariants.ok:
+            return 1
     return 0
 
 
@@ -238,19 +270,71 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.obs.sinks import summarize_trace
+    from repro.obs.sinks import summarize_trace, trace_top
 
     if args.trace_command == "summarize":
-        summary = summarize_trace(args.path)
+        event_types = [args.event_type] if args.event_type else None
+        summary = summarize_trace(args.path, event_types=event_types)
         print(f"trace   : {summary['path']}")
         print(f"events  : {summary['events']}")
         if summary["events"]:
             print(f"span    : {summary['first_time']:g} s .. "
                   f"{summary['last_time']:g} s")
+        if summary["malformed_lines"]:
+            print(f"skipped : {summary['malformed_lines']} malformed "
+                  f"line(s)")
         for name, count in summary["counts"].items():
             print(f"  {name:<18} {count}")
+        if args.event_type:
+            print(f"hottest {args.event_type} identities:")
+            for identity, count in trace_top(
+                args.path, args.event_type, limit=args.top
+            ):
+                print(f"  {identity:<40} {count}")
         return 0
     raise SystemExit(2)
+
+
+def _cmd_check_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.invariants import check_trace
+
+    try:
+        result = check_trace(
+            args.path, max_violations=args.max_violations
+        )
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output_format == "json":
+        print(json.dumps({
+            "path": args.path,
+            "ok": result.ok,
+            "events_checked": result.events_checked,
+            "checkers": list(result.checkers),
+            "malformed_lines": result.malformed_lines,
+            "unknown_records": result.unknown_records,
+            "total_violations": result.total_violations,
+            "violations": [
+                {
+                    "checker_id": v.checker_id,
+                    "time": v.time,
+                    "scope": v.scope,
+                    "message": v.message,
+                }
+                for v in result.violations
+            ],
+        }, indent=2))
+    else:
+        print(f"trace      : {args.path}")
+        print(f"invariants : {result.summary()}")
+        for violation in result.violations:
+            print(f"  {violation.formatted()}")
+        if result.dropped_violations:
+            print(f"  ... and {result.dropped_violations} more "
+                  f"(recording cap)")
+    return 0 if result.ok else 1
 
 
 def _run_experiment(number: str, hours: float | None, seed: int,
@@ -349,6 +433,8 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "check-trace":
+        return _cmd_check_trace(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "table1":

@@ -188,7 +188,7 @@ class MobileClient:
             return
         self.invalidation.on_report(report)
         for key in report.keys:
-            self.cache.invalidate(key)
+            self.cache.invalidate(key, now=self.env.now)
 
     def _deliver(self, reply: ReplyMessage) -> None:
         """Route an incoming downlink message.
@@ -286,7 +286,7 @@ class MobileClient:
             # Amnesia rule: at least one invalidation report was missed
             # while disconnected, so nothing in the cache can be
             # trusted any more.
-            self.cache.clear()
+            self.cache.clear(now=self.env.now)
             self.invalidation.note_purged(self.env.now)
         probe = self._probe(query, connected)
         if probe.local_read_time > 0:

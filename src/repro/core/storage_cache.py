@@ -15,7 +15,12 @@ from repro.core.granularity import CacheKey
 from repro.core.replacement.base import ReplacementPolicy
 from repro.errors import CacheError
 from repro.obs.bus import EventBus
-from repro.obs.events import CacheAdmit, CacheEvict
+from repro.obs.events import (
+    CacheAdmit,
+    CacheEvict,
+    CacheInvalidate,
+    CacheRefresh,
+)
 
 
 class ClientStorageCache:
@@ -85,6 +90,16 @@ class ClientStorageCache:
         if existing is not None:
             existing.refresh(value, version, now, expires_at)
             self.policy.on_access(key, now)
+            if self.bus.wants(CacheRefresh):
+                self.bus.emit(
+                    CacheRefresh(
+                        time=now,
+                        client_id=self.client_id,
+                        cache=self.name,
+                        key=key,
+                        expires_at=expires_at,
+                    )
+                )
             return []
         if size_bytes > self.capacity_bytes:
             raise CacheError(
@@ -131,23 +146,39 @@ class ClientStorageCache:
                     key=key,
                     size_bytes=size_bytes,
                     evictions=len(evicted),
+                    expires_at=expires_at,
+                    capacity_bytes=self.capacity_bytes,
                 )
             )
         return evicted
 
-    def invalidate(self, key: CacheKey) -> bool:
-        """Drop ``key`` if resident; return whether it was."""
+    def invalidate(self, key: CacheKey, now: float = 0.0) -> bool:
+        """Drop ``key`` if resident; return whether it was.
+
+        ``now`` only stamps the guarded :class:`CacheInvalidate` event;
+        it plays no role in the drop itself.
+        """
         entry = self._entries.pop(key, None)
         if entry is None:
             return False
         self.used_bytes -= entry.size_bytes
         self.policy.remove(key)
+        if self.bus.wants(CacheInvalidate):
+            self.bus.emit(
+                CacheInvalidate(
+                    time=now,
+                    client_id=self.client_id,
+                    cache=self.name,
+                    key=key,
+                    size_bytes=entry.size_bytes,
+                )
+            )
         return True
 
-    def clear(self) -> None:
+    def clear(self, now: float = 0.0) -> None:
         """Drop everything (used when a client's cache is reset)."""
         for key in list(self._entries):
-            self.invalidate(key)
+            self.invalidate(key, now)
 
     def keys(self) -> list[CacheKey]:
         return list(self._entries)

@@ -120,6 +120,9 @@ class SimulationConfig:
     #: same-(time, priority) event ties and the order-insensitive trace
     #: fingerprint (see :mod:`repro.analysis.audit`).
     determinism_audit: bool = False
+    #: Run the protocol-invariant checkers in-process and attach their
+    #: report to the result (see :mod:`repro.analysis.invariants`).
+    invariants: bool = False
 
     # -- run control -------------------------------------------------------
     horizon_hours: float = 96.0

@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 
 from repro.analysis.audit import DeterminismReport
+from repro.analysis.invariants import (
+    InvariantEngine,
+    InvariantReport,
+    RunContext,
+)
 from repro.client.mobile_client import MobileClient
 from repro.core.granularity import CachingGranularity
 from repro.core.prefetch import AttributeAccessTracker
@@ -75,6 +81,11 @@ class SimulationResult:
     trace_events: int = 0
     #: Scheduling-collision report when the determinism audit was on.
     determinism: "DeterminismReport | None" = None
+    #: Protocol-invariant report when ``--invariants`` was on (not a
+    #: simulation output; excluded from result-equivalence comparisons).
+    invariants: "InvariantReport | None" = dataclasses.field(
+        default=None, compare=False
+    )
 
     @property
     def hit_ratio(self) -> float:
@@ -115,6 +126,11 @@ class Simulation:
             self.staleness_sink = StalenessTimeline(
                 config.staleness_bucket_seconds
             ).attach(self.bus)
+        self.invariant_engine: InvariantEngine | None = None
+        if config.invariants:
+            # Attached after the metrics sink so every checker observes
+            # the same stream the headline counters are built from.
+            self.invariant_engine = InvariantEngine().attach(self.bus)
         if config.profile:
             self.env.profiler = WallClockProfiler()
         if self.env.auditor is not None:
@@ -275,19 +291,36 @@ class Simulation:
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Run to the configured horizon and summarise."""
-        try:
+        with contextlib.ExitStack() as stack:
+            # Flush the trace tail even when the run dies mid-flight —
+            # a partial trace of a crashed run is exactly what you want.
+            if self.trace_sink is not None:
+                stack.enter_context(self.trace_sink)
             self.server.start()
             for client in self.clients:
                 client.start()
             self.env.run(until=self.config.horizon_seconds)
             for client in self.clients:
                 client.finalize_metrics()
-        finally:
-            # Flush the trace tail even when the run dies mid-flight —
-            # a partial trace of a crashed run is exactly what you want.
-            if self.trace_sink is not None:
-                self.trace_sink.close()
         summary = MetricsSummary([c.metrics for c in self.clients])
+        invariant_report: InvariantReport | None = None
+        if self.invariant_engine is not None:
+            self.invariant_engine.reconcile(
+                RunContext(
+                    metrics={c.client_id: c.metrics for c in self.clients},
+                    channel_stats={
+                        channel.name: channel.stats
+                        for channel in self.network.channels()
+                    },
+                    caches={
+                        (c.client_id, c.cache.name): c.cache
+                        for c in self.clients
+                    },
+                    raw_bytes=self.network.raw_bytes,
+                    goodput_bytes=self.network.goodput_bytes,
+                )
+            )
+            invariant_report = self.invariant_engine.report()
         profiler = self.env.profiler
         return SimulationResult(
             config=self.config,
@@ -321,6 +354,7 @@ class Simulation:
                 if self.env.auditor is not None
                 else None
             ),
+            invariants=invariant_report,
         )
 
 

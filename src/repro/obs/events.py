@@ -13,10 +13,11 @@ Two emission disciplines keep the bus cheap:
   :class:`QueryDegraded`, :class:`RemoteRound`, :class:`RequestSent`,
   :class:`ReplyTimeout`, :class:`LateReply`, :class:`ReplyReceived`,
   :class:`TransmitOutcome`, :class:`FaultEvent`;
-* **guarded events** exist purely for tracing/profiling and are only
-  constructed when a subscriber asked for them (the emit site checks
-  ``bus.wants(EventType)`` first): :class:`CacheAdmit`,
-  :class:`CacheEvict`, :class:`RefreshExpired`, :class:`RequestServed`,
+* **guarded events** exist purely for tracing/profiling/verification
+  and are only constructed when a subscriber asked for them (the emit
+  site checks ``bus.wants(EventType)`` first): :class:`CacheAdmit`,
+  :class:`CacheRefresh`, :class:`CacheInvalidate`, :class:`CacheEvict`,
+  :class:`RefreshExpired`, :class:`RequestServed`,
   :class:`ResourceWait`, :class:`SchedulingCollision`.
 
 All fields are JSON-representable scalars or cache keys (which the
@@ -27,6 +28,7 @@ trace export.
 from __future__ import annotations
 
 import dataclasses
+import math
 import typing as t
 
 #: A cache key as the domain uses it: ``(OID, attribute-or-None)``.
@@ -81,13 +83,56 @@ class CacheAccess(SimEvent):
 
 @dataclasses.dataclass(frozen=True)
 class CacheAdmit(SimEvent):
-    """A new entry entered a storage cache (guarded)."""
+    """A new entry entered a storage cache (guarded).
+
+    ``expires_at`` is the entry's refresh deadline (the paper's RT
+    contract: the entry may be served without server contact only until
+    this instant) and ``capacity_bytes`` the cache's byte budget — both
+    carried on the event so trace-level checkers can verify the
+    coherence and occupancy invariants without the live cache object.
+    """
 
     client_id: int
     cache: str
     key: KeyLike
     size_bytes: int
     evictions: int
+    #: Defaults chosen so traces from older taxonomies decode to the
+    #: no-false-positive interpretation: never expires, unknown budget.
+    expires_at: float = math.inf
+    capacity_bytes: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheRefresh(SimEvent):
+    """A resident entry was overwritten with a freshly fetched value
+    and a new refresh deadline (guarded).
+
+    Emitted on the in-place refresh path of
+    :meth:`~repro.core.storage_cache.ClientStorageCache.admit` — the
+    path a re-fetched expired entry takes — so coherence checkers can
+    tell a legal post-refresh hit from a hit on an expired entry.
+    """
+
+    client_id: int
+    cache: str
+    key: KeyLike
+    expires_at: float
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheInvalidate(SimEvent):
+    """An entry was dropped without a replacement decision (guarded).
+
+    Covers invalidation-report hits and the amnesia rule's full purge;
+    conservation checkers need it to keep admits − evicts −
+    invalidations equal to the cache's occupancy.
+    """
+
+    client_id: int
+    cache: str
+    key: KeyLike
+    size_bytes: int
 
 
 @dataclasses.dataclass(frozen=True)
@@ -240,7 +285,7 @@ class RequestServed(SimEvent):
 # Simulation kernel
 # ----------------------------------------------------------------------
 @dataclasses.dataclass(frozen=True)
-class SchedulingCollision(SimEvent):
+class SchedulingCollision(SimEvent):  # repro: noqa REP009 -- audit-only diagnostic; consumed by the test suite and trace tooling, not by an in-tree sink
     """Two pending events tied on ``(time, priority)`` at a heap pop
     (guarded; only emitted when the determinism audit is on).
 
@@ -269,6 +314,8 @@ class ResourceWait(SimEvent):
 ALL_EVENT_TYPES: tuple[type[SimEvent], ...] = (
     CacheAccess,
     CacheAdmit,
+    CacheRefresh,
+    CacheInvalidate,
     CacheEvict,
     RefreshExpired,
     RemoteRound,

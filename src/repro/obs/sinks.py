@@ -51,7 +51,10 @@ class TraceSink:
     line, and flushes to ``path`` whenever ``buffer_events`` lines have
     accumulated — memory use is bounded by the buffer, not the run
     length.  Call :meth:`close` (the runner does) to flush the tail and
-    release the file handle.
+    release the file handle, or use the sink as a context manager —
+    ``__exit__`` closes even when the run aborts mid-stream, so a
+    crashed simulation still leaves a readable (at worst
+    partial-final-line) trace on disk.
     """
 
     def __init__(
@@ -97,29 +100,75 @@ class TraceSink:
         self._file.close()
         self._file = None
 
+    def __enter__(self) -> "TraceSink":
+        return self
 
-def read_trace(path: str) -> t.Iterator[dict[str, t.Any]]:
-    """Yield the decoded records of a JSONL trace file."""
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+#: Callback for :func:`read_trace`: ``(line_number, line, error)``.
+MalformedLineHandler = t.Callable[[int, str, Exception], None]
+
+
+def read_trace(
+    path: str,
+    on_malformed: MalformedLineHandler | None = None,
+) -> t.Iterator[dict[str, t.Any]]:
+    """Yield the decoded records of a JSONL trace file.
+
+    With ``on_malformed`` set, lines that fail to parse as a JSON
+    object (the partial final write of a crashed run) are reported to
+    the callback and skipped instead of raising — the stream keeps
+    going, so a truncated trace is still checkable up to the cut.
+    """
     with open(path, encoding="utf-8") as handle:
-        for line in handle:
+        for line_number, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                yield t.cast("dict[str, t.Any]", json.loads(line))
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise ValueError(
+                        f"trace line is {type(record).__name__}, "
+                        "expected a JSON object"
+                    )
+            except ValueError as error:
+                if on_malformed is None:
+                    raise
+                on_malformed(line_number, line, error)
+                continue
+            yield t.cast("dict[str, t.Any]", record)
 
 
-def summarize_trace(path: str) -> dict[str, t.Any]:
+def summarize_trace(
+    path: str,
+    event_types: t.Collection[str] | None = None,
+) -> dict[str, t.Any]:
     """Aggregate a JSONL trace: per-type counts and the time range.
 
     The inverse half of the export round-trip: the per-type counts must
     match the run's ``event_counts`` (minus nothing — the trace sink
-    subscribes to everything).
+    subscribes to everything).  ``event_types`` restricts the summary
+    to the named types (counts, total and time range all filtered).
+    Malformed lines are skipped and counted.
     """
+    wanted = None if event_types is None else frozenset(event_types)
     counts: dict[str, int] = {}
     first: float | None = None
     last: float | None = None
     total = 0
-    for record in read_trace(path):
+    malformed = 0
+
+    def on_malformed(line_number: int, line: str, error: Exception) -> None:
+        nonlocal malformed
+        malformed += 1
+
+    for record in read_trace(path, on_malformed=on_malformed):
         name = str(record.get("type", "?"))
+        if wanted is not None and name not in wanted:
+            continue
         counts[name] = counts.get(name, 0) + 1
         total += 1
         moment = record.get("time")
@@ -128,13 +177,56 @@ def summarize_trace(path: str) -> dict[str, t.Any]:
                 first = float(moment)
             if last is None or moment > last:
                 last = float(moment)
-    return {
+    summary = {
         "path": path,
         "events": total,
         "counts": dict(sorted(counts.items())),
         "first_time": first,
         "last_time": last,
+        "malformed_lines": malformed,
     }
+    return summary
+
+
+#: Record fields tried, in order, as the grouping identity of a trace
+#: record for :func:`trace_top` (first present wins).
+_TOP_GROUP_FIELDS = ("key", "channel", "resource", "client_id")
+
+
+def trace_top(
+    path: str,
+    event_type: str,
+    limit: int = 10,
+) -> list[tuple[str, int]]:
+    """The hottest objects of one event type in a trace.
+
+    Groups records of ``event_type`` by their natural identity — the
+    cache ``key`` for cache events, the ``channel`` for network events,
+    the ``resource`` for facility events, the ``client_id`` otherwise —
+    and returns the ``limit`` most frequent as ``(identity, count)``,
+    ties broken lexically so output is deterministic.
+    """
+    if limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit!r}")
+    counts: dict[str, int] = {}
+
+    def on_malformed(line_number: int, line: str, error: Exception) -> None:
+        return None
+
+    for record in read_trace(path, on_malformed=on_malformed):
+        if record.get("type") != event_type:
+            continue
+        for field in _TOP_GROUP_FIELDS:
+            if field in record:
+                identity = str(record[field])
+                if field == "client_id":
+                    identity = f"client-{identity}"
+                break
+        else:
+            identity = "(all)"
+        counts[identity] = counts.get(identity, 0) + 1
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[:limit]
 
 
 @dataclasses.dataclass(frozen=True)

@@ -24,3 +24,21 @@ def lint(tmp_path):
         return lint_paths([target], root=tmp_path, **kwargs)
 
     return _lint
+
+
+@pytest.fixture
+def lint_project(tmp_path):
+    """lint_project({"repro/obs/events.py": src, ...}) -> list[Finding].
+
+    Writes a whole fake package tree, then lints the tree root — the
+    shape project-wide rules (REP009/REP010) need.
+    """
+
+    def _lint(files, **kwargs):
+        for rel_path, source in files.items():
+            target = tmp_path / rel_path
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source))
+        return lint_paths([tmp_path], root=tmp_path, **kwargs)
+
+    return _lint

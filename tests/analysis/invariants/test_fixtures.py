@@ -1,0 +1,55 @@
+"""Mutation tests: each violation fixture trips exactly its checker.
+
+Every ``fixtures/*.jsonl`` file is a minimal hand-built trace breaking
+one protocol law.  Replaying it through :func:`check_trace` must
+produce violations of *only* the intended checker id — proof both that
+the checker detects its mutation and that no other checker
+false-positives on the same stream.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.invariants import check_trace
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture file -> the one violation id it must trip.
+EXPECTED = {
+    "coh001_hit_after_expiry.jsonl": "COH001",
+    "coh002_stale_hit.jsonl": "COH002",
+    "coh003_hit_after_expired.jsonl": "COH003",
+    "cau001_reply_without_request.jsonl": "CAU001",
+    "cau002_complete_without_access.jsonl": "CAU002",
+    "cau003_attempt_jump.jsonl": "CAU003",
+    "con001_byte_mismatch.jsonl": "CON001",
+    "con002_unmatched_drop_fault.jsonl": "CON002",
+    "con003_over_capacity.jsonl": "CON003",
+    "con004_complete_out_of_order.jsonl": "CON004",
+    "con005_negative_wait.jsonl": "CON005",
+}
+
+
+def test_every_fixture_is_covered():
+    on_disk = {path.name for path in FIXTURES.glob("*.jsonl")}
+    assert on_disk == set(EXPECTED)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_fixture_trips_exactly_its_checker(name):
+    report = check_trace(str(FIXTURES / name))
+    assert not report.ok
+    assert report.malformed_lines == 0
+    assert report.unknown_records == 0
+    tripped = {v.checker_id for v in report.violations}
+    assert tripped == {EXPECTED[name]}, report.summary()
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_fixture_violations_carry_scope_and_message(name):
+    report = check_trace(str(FIXTURES / name))
+    for violation in report.violations:
+        assert violation.scope
+        assert violation.message
+        assert violation.checker_id in violation.formatted()

@@ -1,0 +1,266 @@
+"""REP008-REP010: metrics mutation, event reachability, dead knobs."""
+
+
+def ids(findings):
+    return sorted({f.rule_id for f in findings})
+
+
+#: A minimal fake event taxonomy for the REP009 project rule.
+EVENTS_MODULE = """\
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class SimEvent:
+    time: float
+
+
+@dataclasses.dataclass(frozen=True)
+class GoodEvent(SimEvent):
+    client_id: int
+
+
+@dataclasses.dataclass(frozen=True)
+class PhantomEvent(SimEvent):
+    client_id: int
+
+
+@dataclasses.dataclass(frozen=True)
+class DeadEvent(SimEvent):
+    client_id: int
+"""
+
+#: Emits GoodEvent and DeadEvent; guards DeadEvent behind wants().
+EMITTER_MODULE = """\
+from repro.obs.events import DeadEvent, GoodEvent
+
+
+def tick(bus):
+    bus.emit(GoodEvent(0.0, 1))
+    if bus.wants(DeadEvent):
+        bus.emit(DeadEvent(0.0, 1))
+"""
+
+#: Consumes (subscribes to) GoodEvent and PhantomEvent.
+CONSUMER_MODULE = """\
+from repro.obs.events import GoodEvent, PhantomEvent
+
+
+def install(bus, sink):
+    bus.subscribe(GoodEvent, sink)
+    bus.subscribe(PhantomEvent, sink)
+"""
+
+
+class TestREP008InlineMetricsMutation:
+    def test_augmented_metrics_write_is_flagged(self, lint):
+        findings = lint(
+            "repro/client/mod.py",
+            "def f(self):\n    self.metrics.retries += 1\n",
+            select=["REP008"],
+        )
+        assert ids(findings) == ["REP008"]
+        assert "metrics" in findings[0].message
+
+    def test_nested_counter_write_is_flagged(self, lint):
+        findings = lint(
+            "repro/client/mod.py",
+            "def f(client):\n    client.metrics.hit.total += 1\n",
+            select=["REP008"],
+        )
+        assert ids(findings) == ["REP008"]
+
+    def test_metrics_layer_itself_may_mutate(self, lint):
+        findings = lint(
+            "repro/metrics/collectors.py",
+            "def f(self):\n    self.metrics.retries += 1\n",
+            select=["REP008"],
+        )
+        assert findings == []
+
+    def test_unrelated_aug_assign_is_fine(self, lint):
+        findings = lint(
+            "repro/client/mod.py",
+            "def f(self):\n    self.count += 1\n",
+            select=["REP008"],
+        )
+        assert findings == []
+
+    def test_plain_local_named_metrics_is_fine(self, lint):
+        # `metrics += 1` on a bare name is not a counter write through
+        # a metrics object.
+        findings = lint(
+            "repro/client/mod.py",
+            "def f(metrics):\n    metrics += 1\n    return metrics\n",
+            select=["REP008"],
+        )
+        assert findings == []
+
+
+class TestREP009EventReachability:
+    def test_phantom_and_dead_events_are_flagged(self, lint_project):
+        findings = lint_project(
+            {
+                "repro/obs/events.py": EVENTS_MODULE,
+                "repro/client/emitter.py": EMITTER_MODULE,
+                "repro/metrics/consumer.py": CONSUMER_MODULE,
+            },
+            select=["REP009"],
+        )
+        messages = sorted(f.message for f in findings)
+        assert len(findings) == 2
+        assert "DeadEvent" in messages[0] and "dead event" in messages[0]
+        assert "PhantomEvent" in messages[1]
+        assert "phantom" in messages[1]
+        # Findings anchor on the declaration in events.py.
+        assert all(f.path == "repro/obs/events.py" for f in findings)
+
+    def test_fully_wired_taxonomy_is_clean(self, lint_project):
+        findings = lint_project(
+            {
+                "repro/obs/events.py": EVENTS_MODULE.replace(
+                    "PhantomEvent", "GoodEvent2"
+                ).replace("DeadEvent", "GoodEvent3"),
+                "repro/client/emitter.py": """\
+                from repro.obs.events import GoodEvent, GoodEvent2, GoodEvent3
+
+
+                def tick(bus):
+                    bus.emit(GoodEvent(0.0, 1))
+                    bus.emit(GoodEvent2(0.0, 1))
+                    bus.emit(GoodEvent3(0.0, 1))
+                """,
+                "repro/metrics/consumer.py": """\
+                from repro.obs.events import GoodEvent, GoodEvent2, GoodEvent3
+
+
+                def install(bus, sink):
+                    for cls in (GoodEvent, GoodEvent2, GoodEvent3):
+                        bus.subscribe(cls, sink)
+                """,
+            },
+            select=["REP009"],
+        )
+        assert findings == []
+
+    def test_wants_guard_is_not_consumption(self, lint_project):
+        # An event only referenced via bus.wants() at its own emit site
+        # has no consumer: still dead.
+        findings = lint_project(
+            {
+                "repro/obs/events.py": EVENTS_MODULE.replace(
+                    "PhantomEvent", "GoodEventB"
+                ),
+                "repro/client/emitter.py": EMITTER_MODULE.replace(
+                    "GoodEvent)", "GoodEvent, GoodEventB)"
+                ).replace(
+                    "bus.emit(GoodEvent(0.0, 1))",
+                    "bus.emit(GoodEvent(0.0, 1)); "
+                    "bus.emit(GoodEventB(0.0, 1))",
+                ),
+                "repro/metrics/consumer.py": CONSUMER_MODULE.replace(
+                    "PhantomEvent", "GoodEventB"
+                ),
+            },
+            select=["REP009"],
+        )
+        assert len(findings) == 1
+        assert "DeadEvent" in findings[0].message
+
+    def test_suppression_comment_applies(self, lint_project):
+        flagged = EVENTS_MODULE.replace(
+            "class PhantomEvent(SimEvent):",
+            "class PhantomEvent(SimEvent):"
+            "  # repro: noqa REP009 -- declared for forward compat",
+        ).replace(
+            "class DeadEvent(SimEvent):",
+            "class DeadEvent(SimEvent):"
+            "  # repro: noqa REP009 -- audit-only",
+        )
+        findings = lint_project(
+            {
+                "repro/obs/events.py": flagged,
+                "repro/client/emitter.py": EMITTER_MODULE,
+                "repro/metrics/consumer.py": CONSUMER_MODULE,
+            },
+            select=["REP009"],
+        )
+        assert findings == []
+
+    def test_without_events_module_the_rule_is_silent(self, lint_project):
+        findings = lint_project(
+            {"repro/client/emitter.py": EMITTER_MODULE},
+            select=["REP009"],
+        )
+        assert findings == []
+
+
+CONFIG_MODULE = """\
+import dataclasses
+
+
+@dataclasses.dataclass
+class SimulationConfig:
+    used_knob: int = 1
+    validated_only_knob: int = 2
+    property_backed_knob: float = 0.0
+
+    def validate(self):
+        if self.used_knob < 0 or self.validated_only_knob < 0:
+            raise ValueError("bad")
+
+    @property
+    def derived(self):
+        return self.property_backed_knob * 2.0
+"""
+
+RUNNER_MODULE = """\
+def build(config):
+    return config.used_knob + config.derived
+"""
+
+
+class TestREP010UnreadConfigKnob:
+    def test_knob_read_only_by_validate_is_flagged(self, lint_project):
+        findings = lint_project(
+            {
+                "repro/experiments/config.py": CONFIG_MODULE,
+                "repro/experiments/runner.py": RUNNER_MODULE,
+            },
+            select=["REP010"],
+        )
+        assert len(findings) == 1
+        assert "validated_only_knob" in findings[0].message
+        assert findings[0].path == "repro/experiments/config.py"
+
+    def test_property_backed_knob_counts_as_read(self, lint_project):
+        findings = lint_project(
+            {
+                "repro/experiments/config.py": CONFIG_MODULE,
+                "repro/experiments/runner.py": RUNNER_MODULE,
+            },
+            select=["REP010"],
+        )
+        assert not any(
+            "property_backed_knob" in f.message for f in findings
+        )
+
+    def test_without_config_module_the_rule_is_silent(self, lint_project):
+        findings = lint_project(
+            {"repro/experiments/runner.py": RUNNER_MODULE},
+            select=["REP010"],
+        )
+        assert findings == []
+
+    def test_all_knobs_read_is_clean(self, lint_project):
+        findings = lint_project(
+            {
+                "repro/experiments/config.py": CONFIG_MODULE,
+                "repro/experiments/runner.py": RUNNER_MODULE.replace(
+                    "config.used_knob",
+                    "config.used_knob + config.validated_only_knob",
+                ),
+            },
+            select=["REP010"],
+        )
+        assert findings == []

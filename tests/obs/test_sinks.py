@@ -183,3 +183,112 @@ class TestProfiler:
 
     def test_empty_snapshot(self):
         assert WallClockProfiler().snapshot() == {}
+
+
+class TestTraceSinkContextManager:
+    def test_with_block_flushes_and_closes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TraceSink(str(path), buffer_events=100) as sink:
+            sink.on_event(access(1.0))
+            sink.on_event(access(2.0))
+        records = list(read_trace(str(path)))
+        assert [r["time"] for r in records] == [1.0, 2.0]
+        assert sink._file is None
+
+    def test_exception_inside_with_still_flushes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with pytest.raises(RuntimeError):
+            with TraceSink(str(path), buffer_events=100) as sink:
+                sink.on_event(access(1.0))
+                raise RuntimeError("mid-run crash")
+        assert [r["time"] for r in read_trace(str(path))] == [1.0]
+        # Events after close are dropped, not crashed on.
+        sink.on_event(access(2.0))
+        assert [r["time"] for r in read_trace(str(path))] == [1.0]
+
+
+class TestReadTraceMalformed:
+    def test_raises_without_handler(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "CacheAccess", "time": 1.0}\n{oops\n')
+        with pytest.raises(ValueError):
+            list(read_trace(str(path)))
+
+    def test_handler_skips_and_reports(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"type": "A", "time": 1.0}\n'
+            "{truncated\n"
+            "[1, 2, 3]\n"
+            '{"type": "B", "time": 2.0}\n'
+        )
+        seen = []
+        records = list(
+            read_trace(
+                str(path),
+                on_malformed=lambda n, line, exc: seen.append((n, line)),
+            )
+        )
+        assert [r["type"] for r in records] == ["A", "B"]
+        # Both the bad JSON and the non-object line are reported with
+        # their 1-based line numbers.
+        assert [n for n, _ in seen] == [2, 3]
+
+
+class TestSummarizeFilterAndTop:
+    def _write(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        lines = []
+        for i in range(6):
+            lines.append(json.dumps(encode_event(access(float(i), key="hot"))))
+        lines.append(json.dumps(encode_event(access(9.0, key="cold"))))
+        lines.append(
+            json.dumps(
+                encode_event(
+                    QueryComplete(10.0, 0, 1, 0.5, True)
+                )
+            )
+        )
+        lines.append("{broken")
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_event_type_filter_restricts_everything(self, tmp_path):
+        path = self._write(tmp_path)
+        summary = summarize_trace(
+            str(path), event_types=["QueryComplete"]
+        )
+        assert summary["counts"] == {"QueryComplete": 1}
+        assert summary["events"] == 1
+        assert summary["first_time"] == 10.0
+        assert summary["last_time"] == 10.0
+        assert summary["malformed_lines"] == 1
+
+    def test_unfiltered_summary_counts_all(self, tmp_path):
+        path = self._write(tmp_path)
+        summary = summarize_trace(str(path))
+        assert summary["counts"]["CacheAccess"] == 7
+        assert summary["malformed_lines"] == 1
+
+    def test_trace_top_ranks_hottest_keys(self, tmp_path):
+        from repro.obs.sinks import trace_top
+
+        path = self._write(tmp_path)
+        top = trace_top(str(path), "CacheAccess", limit=1)
+        assert top == [("hot", 6)]
+        both = trace_top(str(path), "CacheAccess", limit=5)
+        assert both == [("hot", 6), ("cold", 1)]
+
+    def test_trace_top_groups_by_client_when_no_key(self, tmp_path):
+        from repro.obs.sinks import trace_top
+
+        path = self._write(tmp_path)
+        top = trace_top(str(path), "QueryComplete", limit=3)
+        assert top == [("client-0", 1)]
+
+    def test_trace_top_rejects_bad_limit(self, tmp_path):
+        from repro.obs.sinks import trace_top
+
+        path = self._write(tmp_path)
+        with pytest.raises(ValueError):
+            trace_top(str(path), "CacheAccess", limit=0)
