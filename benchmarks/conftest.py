@@ -22,6 +22,21 @@ if str(_SRC) not in sys.path:
 import pytest  # noqa: E402
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``bench`` marker.
+
+    The default addopts exclude the marker, keeping tier-1 runs fast;
+    CI selects it explicitly with ``-m bench``.  The hook receives the
+    whole session's items, so scope the marker to this directory —
+    mixed invocations like ``pytest tests benchmarks`` must not drag
+    unit tests into the bench tier.
+    """
+    root = Path(__file__).resolve().parent
+    for item in items:
+        if Path(item.fspath).is_relative_to(root):
+            item.add_marker(pytest.mark.bench)
+
+
 def full_scale() -> bool:
     return os.environ.get("REPRO_FULL", "") == "1"
 

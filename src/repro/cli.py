@@ -11,6 +11,8 @@ Examples::
     repro-mobicache check-trace out.jsonl
     repro-mobicache experiment 1 --hours 8
     repro-mobicache experiment all --hours 4
+    repro-mobicache scenario list
+    repro-mobicache scenario run exp1-granularity --replications 10 --jobs 0
     repro-mobicache list-policies
     repro-mobicache lint src tests
     repro-mobicache lint --format json --select REP001,REP003 src
@@ -146,6 +148,55 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "results are identical at any job count")
     exp_parser.add_argument("--quiet", action="store_true",
                             help="suppress per-run progress on stderr")
+
+    scenario_parser = sub.add_parser(
+        "scenario",
+        help="replicated scenario runs with confidence intervals",
+    )
+    scenario_sub = scenario_parser.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    scenario_sub.add_parser(
+        "list", help="list the registered scenarios"
+    )
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run one scenario with replications"
+    )
+    scenario_run.add_argument("name", help="scenario name (see 'list')")
+    scenario_run.add_argument("--replications", type=int, default=None,
+                              metavar="N",
+                              help="independent replications per cell "
+                                   "(default: the scenario's own count)")
+    scenario_run.add_argument("--hours", type=float, default=None,
+                              help="simulated hours per run (default: 8, "
+                                   "or 96 with REPRO_FULL=1)")
+    scenario_run.add_argument("--seed", type=int, default=42,
+                              help="base seed; replication seeds derive "
+                                   "from it (default: 42)")
+    scenario_run.add_argument("--warmup", type=float, default=None,
+                              metavar="FRACTION",
+                              help="horizon fraction discarded as "
+                                   "warm-up (default: the scenario's)")
+    scenario_run.add_argument("--confidence", type=float, default=0.95,
+                              help="confidence level for the t-based "
+                                   "half-widths (default: 0.95)")
+    scenario_run.add_argument("--jobs", type=int, default=None,
+                              help="parallel worker processes (0 = all "
+                                   "cores; default: REPRO_JOBS or "
+                                   "serial); results are identical at "
+                                   "any job count")
+    scenario_run.add_argument("--invariants", action="store_true",
+                              help="run the protocol-invariant checkers "
+                                   "in every replication (exit 1 on any "
+                                   "violation)")
+    scenario_run.add_argument("--spec", default=None, metavar="TOML",
+                              help="register extra scenarios from a "
+                                   "TOML file before resolving NAME")
+    scenario_run.add_argument("--out", default=None, metavar="PATH",
+                              help="write the JSON result envelope to "
+                                   "PATH")
+    scenario_run.add_argument("--quiet", action="store_true",
+                              help="suppress per-run progress on stderr")
 
     sub.add_parser("table1", help="print Table 1 (parameter settings)")
     sub.add_parser("list-policies", help="list replacement policies")
@@ -412,6 +463,56 @@ def _run_experiment(number: str, hours: float | None, seed: int,
         raise SystemExit(f"unknown experiment {number!r}; use 1-7 or 'all'")
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.errors import ScenarioError, StatisticsError
+    from repro.experiments.report import render_ci_rows
+    from repro.experiments.scenarios import (
+        get_scenario,
+        register_toml,
+        run_scenario,
+    )
+    from repro.experiments.tables import render_scenarios
+
+    if args.scenario_command == "list":
+        print(render_scenarios())
+        return 0
+    if args.scenario_command == "run":
+        try:
+            if args.spec:
+                register_toml(args.spec)
+            scenario = get_scenario(args.name)
+            result = run_scenario(
+                scenario,
+                replications=args.replications,
+                horizon_hours=args.hours,
+                seed=args.seed,
+                confidence=args.confidence,
+                warmup_fraction=args.warmup,
+                jobs=args.jobs,
+                progress=not args.quiet,
+                invariants=args.invariants,
+            )
+        except (ScenarioError, StatisticsError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render_ci_rows(result))
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(result.to_json())
+                handle.write("\n")
+            print(f"\nenvelope -> {args.out}")
+        violations = result.total_invariant_violations
+        if violations:
+            print(
+                f"\ninvariants: {violations} violation(s) across "
+                f"{result.replications} replication(s)",
+                file=sys.stderr,
+            )
+            return 1
+        return 1 if result.failures else 0
+    raise SystemExit(2)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     numbers = (
         ["1", "2", "3", "4", "5", "6", "7"]
@@ -431,6 +532,8 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "check-trace":

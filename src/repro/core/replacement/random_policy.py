@@ -39,7 +39,9 @@ class RandomPolicy(ReplacementPolicy):
         self._require_resident(key)
         position = self._positions.pop(key)
         last = self._keys.pop()
-        if last is not key:
+        # Positional guard, not identity: the caller's key may be an
+        # equal-but-distinct object from the stored one.
+        if position < len(self._keys):
             self._keys[position] = last
             self._positions[last] = position
 

@@ -53,3 +53,13 @@ class NetworkError(ReproError):
 
 class ConfigurationError(ReproError):
     """A :class:`SimulationConfig` contains invalid parameter values."""
+
+
+class ScenarioError(ConfigurationError):
+    """A scenario specification is invalid or references unknown names."""
+
+
+class StatisticsError(ReproError):
+    """A statistic was requested from degenerate data (no samples after
+    warm-up, a single batch, zero completed replications, ...) where the
+    honest answer is an error rather than a NaN."""

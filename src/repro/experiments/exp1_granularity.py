@@ -10,16 +10,12 @@ both SH and CSH.
 
 from __future__ import annotations
 
-from repro.experiments.config import SimulationConfig
-from repro.experiments.framework import (
-    ExperimentTable,
-    RunSpec,
-    default_horizon_hours,
-    execute,
-)
+from repro.experiments.framework import ExperimentTable, RunSpec, execute
+from repro.experiments.scenarios.registry import get_scenario
 
 EXPERIMENT_ID = "exp1"
 TITLE = "Figure 2: caching granularity (NC/AC/OC/HC)"
+SCENARIO = "exp1-granularity"
 
 GRANULARITIES = ("NC", "AC", "OC", "HC")
 QUERY_KINDS = ("AQ", "NQ")
@@ -30,30 +26,8 @@ HEATS = ("SH", "CSH")
 def build_runs(
     horizon_hours: float | None = None, seed: int = 42
 ) -> list[RunSpec]:
-    horizon = horizon_hours or default_horizon_hours()
-    runs: list[RunSpec] = []
-    for kind in QUERY_KINDS:
-        for arrival in ARRIVALS:
-            for heat in HEATS:
-                for granularity in GRANULARITIES:
-                    config = SimulationConfig(
-                        granularity=granularity,
-                        replacement="ewma-0.5",
-                        query_kind=kind,
-                        arrival=arrival,
-                        heat=heat,
-                        update_probability=0.1,
-                        horizon_hours=horizon,
-                        seed=seed,
-                    )
-                    dims = {
-                        "granularity": granularity,
-                        "query_kind": kind,
-                        "arrival": arrival,
-                        "heat": heat,
-                    }
-                    runs.append((dims, config))
-    return runs
+    """The registered scenario's cells as a classic run list."""
+    return get_scenario(SCENARIO).build_runs(horizon_hours, seed)
 
 
 def run(

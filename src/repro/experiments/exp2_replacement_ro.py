@@ -7,16 +7,12 @@ and Poisson/Bursty; Figure 3 reports hit ratios and response times.
 
 from __future__ import annotations
 
-from repro.experiments.config import SimulationConfig
-from repro.experiments.framework import (
-    ExperimentTable,
-    RunSpec,
-    default_horizon_hours,
-    execute,
-)
+from repro.experiments.framework import ExperimentTable, RunSpec, execute
+from repro.experiments.scenarios.registry import get_scenario
 
 EXPERIMENT_ID = "exp2"
 TITLE = "Figure 3: replacement policies, read-only (U=0, 1 client)"
+SCENARIO = "exp2-replacement-ro"
 
 #: The paper's six policies with their exact parameterisations.
 POLICIES = ("lru", "lru-3", "lrd", "mean", "window-10", "ewma-0.5")
@@ -31,31 +27,19 @@ def build_runs(
     update_probability: float = 0.0,
     num_clients: int = 1,
 ) -> list[RunSpec]:
-    horizon = horizon_hours or default_horizon_hours()
-    runs: list[RunSpec] = []
-    for heat in HEATS:
-        for kind in QUERY_KINDS:
-            for arrival in ARRIVALS:
-                for policy in POLICIES:
-                    config = SimulationConfig(
-                        granularity="HC",
-                        replacement=policy,
-                        query_kind=kind,
-                        arrival=arrival,
-                        heat=heat,
-                        update_probability=update_probability,
-                        num_clients=num_clients,
-                        horizon_hours=horizon,
-                        seed=seed,
-                    )
-                    dims = {
-                        "policy": policy,
-                        "heat": heat,
-                        "query_kind": kind,
-                        "arrival": arrival,
-                    }
-                    runs.append((dims, config))
-    return runs
+    """The registered scenario's cells as a classic run list.
+
+    ``update_probability`` and ``num_clients`` override the scenario
+    base so Experiment #3 can reuse the sweep under its own setting.
+    """
+    return get_scenario(SCENARIO).build_runs(
+        horizon_hours,
+        seed,
+        extra_base={
+            "update_probability": update_probability,
+            "num_clients": num_clients,
+        },
+    )
 
 
 def run(

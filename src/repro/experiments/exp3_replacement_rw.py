@@ -11,9 +11,11 @@ from __future__ import annotations
 
 from repro.experiments import exp2_replacement_ro as exp2
 from repro.experiments.framework import ExperimentTable, RunSpec, execute
+from repro.experiments.scenarios.registry import get_scenario
 
 EXPERIMENT_ID = "exp3"
 TITLE = "Figure 4: replacement policies with writes (U=0.1, 10 clients)"
+SCENARIO = "exp3-replacement-rw"
 
 POLICIES = exp2.POLICIES
 
@@ -21,12 +23,7 @@ POLICIES = exp2.POLICIES
 def build_runs(
     horizon_hours: float | None = None, seed: int = 42
 ) -> list[RunSpec]:
-    return exp2.build_runs(
-        horizon_hours,
-        seed,
-        update_probability=0.1,
-        num_clients=10,
-    )
+    return get_scenario(SCENARIO).build_runs(horizon_hours, seed)
 
 
 def run(

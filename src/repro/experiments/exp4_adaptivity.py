@@ -13,18 +13,15 @@ Two halves:
 
 from __future__ import annotations
 
-from repro.experiments.config import SimulationConfig
-from repro.experiments.framework import (
-    ExperimentTable,
-    RunSpec,
-    default_horizon_hours,
-    execute,
-)
+from repro.experiments.framework import ExperimentTable, RunSpec, execute
+from repro.experiments.scenarios.registry import get_scenario
 
 EXPERIMENT_ID_F5 = "exp4-f5"
 TITLE_F5 = "Figure 5: adaptivity vs CSH change rate"
 EXPERIMENT_ID_F6 = "exp4-f6"
 TITLE_F6 = "Figure 6: cyclic access pattern"
+SCENARIO_F5 = "exp4-change-rates"
+SCENARIO_F6 = "exp4-cyclic"
 
 POLICIES = ("lru", "lru-3", "lrd", "ewma-0.5")
 CHANGE_RATES = (300, 500, 700)
@@ -33,47 +30,13 @@ CHANGE_RATES = (300, 500, 700)
 def build_change_rate_runs(
     horizon_hours: float | None = None, seed: int = 42
 ) -> list[RunSpec]:
-    horizon = horizon_hours or default_horizon_hours()
-    runs: list[RunSpec] = []
-    for change_rate in CHANGE_RATES:
-        for policy in POLICIES:
-            config = SimulationConfig(
-                granularity="HC",
-                replacement=policy,
-                query_kind="AQ",
-                arrival="poisson",
-                heat="CSH",
-                csh_change_every=change_rate,
-                update_probability=0.1,
-                num_clients=10,
-                horizon_hours=horizon,
-                seed=seed,
-            )
-            runs.append(
-                ({"policy": policy, "change_rate": change_rate}, config)
-            )
-    return runs
+    return get_scenario(SCENARIO_F5).build_runs(horizon_hours, seed)
 
 
 def build_cyclic_runs(
     horizon_hours: float | None = None, seed: int = 42
 ) -> list[RunSpec]:
-    horizon = horizon_hours or default_horizon_hours()
-    runs: list[RunSpec] = []
-    for policy in POLICIES:
-        config = SimulationConfig(
-            granularity="HC",
-            replacement=policy,
-            query_kind="AQ",
-            arrival="poisson",
-            heat="cyclic",
-            update_probability=0.1,
-            num_clients=10,
-            horizon_hours=horizon,
-            seed=seed,
-        )
-        runs.append(({"policy": policy}, config))
-    return runs
+    return get_scenario(SCENARIO_F6).build_runs(horizon_hours, seed)
 
 
 def run_change_rates(

@@ -12,16 +12,12 @@ fall with beta.
 
 from __future__ import annotations
 
-from repro.experiments.config import SimulationConfig
-from repro.experiments.framework import (
-    ExperimentTable,
-    RunSpec,
-    default_horizon_hours,
-    execute,
-)
+from repro.experiments.framework import ExperimentTable, RunSpec, execute
+from repro.experiments.scenarios.registry import get_scenario
 
 EXPERIMENT_ID = "exp5"
 TITLE = "Figure 7: coherence vs update probability and beta"
+SCENARIO = "exp5-coherence"
 
 GRANULARITIES = ("AC", "OC", "HC")
 UPDATE_PROBABILITIES = (0.1, 0.3, 0.5)
@@ -31,30 +27,7 @@ BETAS = (-1.0, 0.0, 1.0)
 def build_runs(
     horizon_hours: float | None = None, seed: int = 42
 ) -> list[RunSpec]:
-    horizon = horizon_hours or default_horizon_hours()
-    runs: list[RunSpec] = []
-    for beta in BETAS:
-        for update_probability in UPDATE_PROBABILITIES:
-            for granularity in GRANULARITIES:
-                config = SimulationConfig(
-                    granularity=granularity,
-                    replacement="ewma-0.5",
-                    query_kind="AQ",
-                    arrival="poisson",
-                    heat="SH",
-                    update_probability=update_probability,
-                    beta=beta,
-                    num_clients=10,
-                    horizon_hours=horizon,
-                    seed=seed,
-                )
-                dims = {
-                    "granularity": granularity,
-                    "update_probability": update_probability,
-                    "beta": beta,
-                }
-                runs.append((dims, config))
-    return runs
+    return get_scenario(SCENARIO).build_runs(horizon_hours, seed)
 
 
 def run(

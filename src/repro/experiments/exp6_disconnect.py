@@ -18,16 +18,13 @@ monotonically, matching the paper's "the increase is relatively slow".
 
 from __future__ import annotations
 
-from repro.experiments.config import SimulationConfig
-from repro.experiments.framework import (
-    ExperimentTable,
-    RunSpec,
-    default_horizon_hours,
-    execute,
-)
+from repro.experiments.framework import ExperimentTable, RunSpec, execute
+from repro.experiments.scenarios.registry import get_scenario
 
 EXPERIMENT_ID = "exp6"
 TITLE = "Figure 8: error rates during disconnection"
+SCENARIO_DURATIONS = "exp6-durations"
+SCENARIO_CLIENT_COUNTS = "exp6-client-counts"
 
 GRANULARITIES = ("AC", "OC", "HC")
 #: The paper sweeps 1..10 h; steps of 3 keep the sweep affordable while
@@ -38,8 +35,10 @@ FIXED_DURATION_HOURS = 5.0
 FIXED_CLIENTS = 5
 
 
-def _scaled_duration(duration: float, horizon: float) -> float:
-    """Fit the paper's disconnection durations into short horizons.
+def build_duration_runs(
+    horizon_hours: float | None = None, seed: int = 42
+) -> list[RunSpec]:
+    """Duration sweep; the scenario's ``scaled_fields`` caps windows.
 
     Staleness accumulates on a *physical* timescale (the mean write gap
     of a hot item is tens of minutes), so shrinking windows
@@ -48,67 +47,15 @@ def _scaled_duration(duration: float, horizon: float) -> float:
     capped at 80% of the horizon so every client still has connected
     time (the D *labels* in the output stay the paper's).
     """
-    return min(duration, 0.8 * horizon)
-
-
-def build_duration_runs(
-    horizon_hours: float | None = None, seed: int = 42
-) -> list[RunSpec]:
-    horizon = horizon_hours or default_horizon_hours()
-    runs: list[RunSpec] = []
-    for granularity in GRANULARITIES:
-        for duration in DURATIONS_HOURS:
-            config = SimulationConfig(
-                granularity=granularity,
-                replacement="ewma-0.5",
-                query_kind="AQ",
-                arrival="poisson",
-                heat="SH",
-                update_probability=0.1,
-                num_clients=10,
-                disconnected_clients=FIXED_CLIENTS,
-                disconnection_hours=_scaled_duration(duration, horizon),
-                horizon_hours=horizon,
-                seed=seed,
-            )
-            dims = {
-                "granularity": granularity,
-                "duration_hours": duration,
-                "disconnected_clients": FIXED_CLIENTS,
-            }
-            runs.append((dims, config))
-    return runs
+    return get_scenario(SCENARIO_DURATIONS).build_runs(horizon_hours, seed)
 
 
 def build_client_count_runs(
     horizon_hours: float | None = None, seed: int = 42
 ) -> list[RunSpec]:
-    horizon = horizon_hours or default_horizon_hours()
-    runs: list[RunSpec] = []
-    for granularity in GRANULARITIES:
-        for count in CLIENT_COUNTS:
-            config = SimulationConfig(
-                granularity=granularity,
-                replacement="ewma-0.5",
-                query_kind="AQ",
-                arrival="poisson",
-                heat="SH",
-                update_probability=0.1,
-                num_clients=10,
-                disconnected_clients=count,
-                disconnection_hours=_scaled_duration(
-                    FIXED_DURATION_HOURS, horizon
-                ),
-                horizon_hours=horizon,
-                seed=seed,
-            )
-            dims = {
-                "granularity": granularity,
-                "duration_hours": FIXED_DURATION_HOURS,
-                "disconnected_clients": count,
-            }
-            runs.append((dims, config))
-    return runs
+    return get_scenario(SCENARIO_CLIENT_COUNTS).build_runs(
+        horizon_hours, seed
+    )
 
 
 def run_durations(

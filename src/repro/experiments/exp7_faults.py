@@ -21,16 +21,13 @@ is the only varying input (common random numbers).
 
 from __future__ import annotations
 
-from repro.experiments.config import SimulationConfig
-from repro.experiments.framework import (
-    ExperimentTable,
-    RunSpec,
-    default_horizon_hours,
-    execute,
-)
+from repro.experiments.framework import ExperimentTable, RunSpec, execute
+from repro.experiments.scenarios.registry import get_scenario
 
 EXPERIMENT_ID = "exp7"
 TITLE = "Experiment 7: channel faults, retries, degradation"
+SCENARIO_LOSSES = "exp7-losses"
+SCENARIO_BURSTS = "exp7-bursts"
 
 GRANULARITIES = ("AC", "OC", "HC")
 LOSS_RATES = (0.0, 0.05, 0.2)
@@ -46,77 +43,18 @@ BURST_ON_PROBABILITY = 0.02
 BURST_OFF_PROBABILITY = 0.2
 
 
-def _base_config(
-    granularity: str,
-    horizon: float,
-    seed: int,
-    **faults: object,
-) -> SimulationConfig:
-    return SimulationConfig(
-        granularity=granularity,
-        replacement="ewma-0.5",
-        query_kind="AQ",
-        arrival="poisson",
-        heat="SH",
-        update_probability=0.1,
-        num_clients=10,
-        horizon_hours=horizon,
-        seed=seed,
-        request_timeout_seconds=TIMEOUT_SECONDS,
-        backoff_base_seconds=BACKOFF_BASE_SECONDS,
-        **faults,  # type: ignore[arg-type]
-    )
-
-
 def build_loss_runs(
     horizon_hours: float | None = None, seed: int = 42
 ) -> list[RunSpec]:
     """Loss rate x retry budget for each granularity."""
-    horizon = horizon_hours or default_horizon_hours()
-    runs: list[RunSpec] = []
-    for granularity in GRANULARITIES:
-        for loss_rate in LOSS_RATES:
-            for retry_budget in RETRY_BUDGETS:
-                config = _base_config(
-                    granularity,
-                    horizon,
-                    seed,
-                    loss_rate=loss_rate,
-                    retry_budget=retry_budget,
-                )
-                dims = {
-                    "granularity": granularity,
-                    "loss_rate": loss_rate,
-                    "retry_budget": retry_budget,
-                }
-                runs.append((dims, config))
-    return runs
+    return get_scenario(SCENARIO_LOSSES).build_runs(horizon_hours, seed)
 
 
 def build_burst_runs(
     horizon_hours: float | None = None, seed: int = 42
 ) -> list[RunSpec]:
     """Bursty losses at a fixed marginal rate, sweeping the budget."""
-    horizon = horizon_hours or default_horizon_hours()
-    runs: list[RunSpec] = []
-    for granularity in GRANULARITIES:
-        for retry_budget in RETRY_BUDGETS:
-            config = _base_config(
-                granularity,
-                horizon,
-                seed,
-                burst_loss_rate=BURST_LOSS_RATE,
-                burst_on_probability=BURST_ON_PROBABILITY,
-                burst_off_probability=BURST_OFF_PROBABILITY,
-                retry_budget=retry_budget,
-            )
-            dims = {
-                "granularity": granularity,
-                "burst": True,
-                "retry_budget": retry_budget,
-            }
-            runs.append((dims, config))
-    return runs
+    return get_scenario(SCENARIO_BURSTS).build_runs(horizon_hours, seed)
 
 
 def run_losses(

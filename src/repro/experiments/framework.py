@@ -49,6 +49,9 @@ class ExperimentRow:
     error_rate: float
     queries: int
     disconnected_error_rate: float = 0.0
+    #: Bytes of request messages that entered the uplink (the paper's
+    #: scarce resource; the third headline metric of scenario reports).
+    uplink_bytes: float = 0.0
     # -- fault-injection / recovery counters (Experiment #7) ------------
     drops: int = 0
     retries: int = 0
@@ -171,6 +174,7 @@ def execute(
                 disconnected_error_rate=(
                     result.disconnected_error_rate
                 ),
+                uplink_bytes=float(result.summary.total_bytes_sent),
                 drops=result.messages_dropped,
                 retries=result.retries,
                 timeouts=result.timeouts,

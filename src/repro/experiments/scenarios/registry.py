@@ -1,0 +1,64 @@
+"""The scenario registry: name -> validated :class:`Scenario`.
+
+Built-in paper scenarios register at import time from
+:data:`repro.experiments.scenarios.specs.PAPER_SPECS`; callers may add
+more (e.g. from a TOML file via ``register_toml``).  Registration is
+validating — a malformed spec fails loudly here, not mid-sweep.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import ScenarioError
+from repro.experiments.scenarios.spec import Scenario, load_toml
+from repro.experiments.scenarios.specs import PAPER_SPECS
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add a scenario under its name; re-registration must be explicit."""
+    if scenario.name in _REGISTRY and not replace:
+        raise ScenarioError(
+            f"scenario {scenario.name!r} is already registered"
+        )
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def register_dict(
+    name: str, spec: t.Mapping[str, t.Any], replace: bool = False
+) -> Scenario:
+    return register(Scenario.from_dict(name, spec), replace=replace)
+
+
+def register_toml(path: str, replace: bool = False) -> list[Scenario]:
+    """Register every scenario table of a TOML file; returns them."""
+    return [
+        register(scenario, replace=replace)
+        for scenario in load_toml(path).values()
+    ]
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ScenarioError(
+            f"unknown scenario {name!r} (known: {known})"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    """Registered names, in registration order."""
+    return list(_REGISTRY)
+
+
+def scenarios() -> list[Scenario]:
+    return list(_REGISTRY.values())
+
+
+for _name, _spec in PAPER_SPECS.items():
+    register_dict(_name, _spec)

@@ -94,6 +94,26 @@ def table1_rows() -> list[dict[str, str]]:
     ]
 
 
+def render_scenarios() -> str:
+    """Plain-text listing of the registered scenarios."""
+    from repro.experiments.scenarios.registry import scenarios
+
+    entries = scenarios()
+    name_width = max(len(s.name) for s in entries)
+    lines = []
+    for scenario in entries:
+        cells = 1
+        for dimension in scenario.sweep:
+            cells *= len(dimension.values)
+        lines.append(
+            f"{scenario.name.ljust(name_width)}  "
+            f"{cells:>3} cells x {scenario.replications} reps  "
+            f"warm-up {scenario.warmup_fraction:.0%}  "
+            f"{scenario.title}"
+        )
+    return "\n".join(lines)
+
+
 def render_table1() -> str:
     """Plain-text rendering of Table 1."""
     rows = table1_rows()

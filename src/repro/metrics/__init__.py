@@ -6,10 +6,11 @@ from repro.metrics.collectors import (
     MetricsSummary,
     SummaryRow,
 )
-from repro.metrics.timeseries import BucketedRatio
+from repro.metrics.timeseries import BucketedRatio, BucketedTally
 
 __all__ = [
     "BucketedRatio",
+    "BucketedTally",
     "ClientMetrics",
     "MetricsSink",
     "MetricsSummary",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.metrics.timeseries import BucketedRatio
+from repro.metrics.timeseries import BucketedRatio, BucketedTally
 from repro.obs.bus import EventBus
 from repro.obs.events import (
     CacheAccess,
@@ -47,6 +47,14 @@ class ClientMetrics:
         self.disconnected_error = RatioCounter("disconnected-error")
         #: Hit ratio over time (half-hour buckets), for dynamics analysis.
         self.hit_series = BucketedRatio(DEFAULT_SERIES_BUCKET, "hit")
+        #: Error rate over time (answered reads only), same buckets.
+        self.error_series = BucketedRatio(DEFAULT_SERIES_BUCKET, "error")
+        #: Response time over time, for warm-up truncation of means.
+        self.response_series = BucketedTally(
+            DEFAULT_SERIES_BUCKET, "response"
+        )
+        #: Uplink bytes over time (request sizes), for windowed totals.
+        self.uplink_series = BucketedTally(DEFAULT_SERIES_BUCKET, "uplink")
         self.response = Tally("response")
         self.queries = 0
         self.disconnected_queries = 0
@@ -94,14 +102,23 @@ class ClientMetrics:
             self.hit_series.record(now, is_hit)
         if answered:
             self.error.record(is_error)
+            if now is not None:
+                self.error_series.record(now, is_error)
             if not connected:
                 self.disconnected_error.record(is_error)
         elif is_error:
             raise ValueError("an unanswered read cannot be an error")
 
-    def record_query(self, response_time: float, connected: bool) -> None:
+    def record_query(
+        self,
+        response_time: float,
+        connected: bool,
+        now: "float | None" = None,
+    ) -> None:
         self.queries += 1
         self.response.record(response_time)
+        if now is not None:
+            self.response_series.record(now, response_time)
         if not connected:
             self.disconnected_queries += 1
 
@@ -169,7 +186,7 @@ class MetricsSink:
 
     def on_query_complete(self, event: QueryComplete) -> None:
         self.client(event.client_id).record_query(
-            event.response_seconds, event.connected
+            event.response_seconds, event.connected, now=event.time
         )
 
     def on_query_degraded(self, event: QueryDegraded) -> None:
@@ -186,7 +203,9 @@ class MetricsSink:
             metrics.retries += 1
 
     def on_request_sent(self, event: RequestSent) -> None:
-        self.client(event.client_id).bytes_sent += event.size_bytes
+        metrics = self.client(event.client_id)
+        metrics.bytes_sent += event.size_bytes
+        metrics.uplink_series.record(event.time, float(event.size_bytes))
 
     def on_reply_timeout(self, event: ReplyTimeout) -> None:
         self.client(event.client_id).timeouts += 1
@@ -232,12 +251,20 @@ class MetricsSummary:
         self.disconnected_error = RatioCounter("disconnected-error")
         #: Hit ratio over time (half-hour buckets), for dynamics analysis.
         self.hit_series = BucketedRatio(DEFAULT_SERIES_BUCKET, "hit")
+        self.error_series = BucketedRatio(DEFAULT_SERIES_BUCKET, "error")
+        self.response_series = BucketedTally(
+            DEFAULT_SERIES_BUCKET, "response"
+        )
+        self.uplink_series = BucketedTally(DEFAULT_SERIES_BUCKET, "uplink")
         self.response = Tally("response")
         for client in self.clients:
             self.hit.merge(client.hit)
             self.error.merge(client.error)
             self.disconnected_error.merge(client.disconnected_error)
             self.hit_series.merge(client.hit_series)
+            self.error_series.merge(client.error_series)
+            self.response_series.merge(client.response_series)
+            self.uplink_series.merge(client.uplink_series)
             self.response.merge(client.response)
 
     def __repr__(self) -> str:
@@ -296,6 +323,11 @@ class MetricsSummary:
     @property
     def total_goodput_bytes(self) -> float:
         return sum(client.goodput_bytes for client in self.clients)
+
+    @property
+    def total_bytes_sent(self) -> int:
+        """Uplink bytes across all clients (request messages entered)."""
+        return sum(client.bytes_sent for client in self.clients)
 
     def response_confidence_interval(
         self, level: float = 0.95

@@ -58,6 +58,19 @@ class BucketedRatio:
                 hits += self._hits.get(bucket, 0)
         return hits / total if total else 0.0
 
+    def samples_between(self, start: float, end: float) -> int:
+        """Sample count over [start, end), by bucket start time.
+
+        The window test matches :meth:`ratio_between`, so a caller can
+        first check the denominator is non-zero (warm-up truncation must
+        error out on an empty window, never divide by it).
+        """
+        return sum(
+            count
+            for bucket, count in self._totals.items()
+            if start <= bucket * self.bucket_seconds < end
+        )
+
     def merge(self, other: "BucketedRatio") -> None:
         """Fold another series (same bucket width) into this one."""
         if other.bucket_seconds != self.bucket_seconds:
@@ -94,3 +107,79 @@ class BucketedRatio:
             if ratio > 0 else blocks[0]
             for ratio in sampled
         )
+
+
+class BucketedTally:
+    """Per-time-bucket value tallies (e.g. response time over time).
+
+    The value-metric sibling of :class:`BucketedRatio`: each bucket keeps
+    a (count, sum) pair so windowed means and windowed totals — the two
+    aggregations warm-up truncation needs — stay exact and cheap.
+    """
+
+    def __init__(self, bucket_seconds: float, name: str = "tally") -> None:
+        if bucket_seconds <= 0:
+            raise ValueError(
+                f"bucket width must be positive, got {bucket_seconds!r}"
+            )
+        self.bucket_seconds = float(bucket_seconds)
+        self.name = name
+        self._counts: dict[int, int] = {}
+        self._sums: dict[int, float] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"<BucketedTally {self.name!r} buckets={len(self._counts)} "
+            f"width={self.bucket_seconds:g}s>"
+        )
+
+    def record(self, now: float, value: float) -> None:
+        if now < 0:
+            raise ValueError(f"negative sample time: {now!r}")
+        bucket = int(now // self.bucket_seconds)
+        self._counts[bucket] = self._counts.get(bucket, 0) + 1
+        self._sums[bucket] = self._sums.get(bucket, 0.0) + value
+
+    def series(self) -> list[tuple[float, float, int]]:
+        """(bucket start time, mean value, sample count) per bucket."""
+        return [
+            (
+                bucket * self.bucket_seconds,
+                self._sums[bucket] / self._counts[bucket],
+                self._counts[bucket],
+            )
+            for bucket in sorted(self._counts)
+        ]
+
+    def samples_between(self, start: float, end: float) -> int:
+        """Sample count over [start, end), by bucket start time."""
+        return sum(
+            count
+            for bucket, count in self._counts.items()
+            if start <= bucket * self.bucket_seconds < end
+        )
+
+    def sum_between(self, start: float, end: float) -> float:
+        """Total of all values recorded in [start, end)."""
+        return sum(
+            total
+            for bucket, total in self._sums.items()
+            if start <= bucket * self.bucket_seconds < end
+        )
+
+    def mean_between(self, start: float, end: float) -> float:
+        """Mean value over [start, end) (0.0 if no samples)."""
+        count = self.samples_between(start, end)
+        return self.sum_between(start, end) / count if count else 0.0
+
+    def merge(self, other: "BucketedTally") -> None:
+        """Fold another tally (same bucket width) into this one."""
+        if other.bucket_seconds != self.bucket_seconds:
+            raise ValueError(
+                f"cannot merge tallies with different bucket widths: "
+                f"{self.bucket_seconds:g}s vs {other.bucket_seconds:g}s"
+            )
+        for bucket, count in other._counts.items():
+            self._counts[bucket] = self._counts.get(bucket, 0) + count
+        for bucket, total in other._sums.items():
+            self._sums[bucket] = self._sums.get(bucket, 0.0) + total

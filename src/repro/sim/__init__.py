@@ -27,7 +27,12 @@ from repro.sim.events import (
 )
 from repro.sim.monitor import RatioCounter, Tally, TimeWeighted, summarize
 from repro.sim.process import Interrupt, Process
-from repro.sim.rand import RandomStream, cumulative, spawn_seed
+from repro.sim.rand import (
+    RandomStream,
+    cumulative,
+    replication_seed,
+    spawn_seed,
+)
 from repro.sim.resources import Request, Resource, Store, StoreGet
 
 __all__ = [
@@ -50,6 +55,7 @@ __all__ = [
     "TimeWeighted",
     "Timeout",
     "cumulative",
+    "replication_seed",
     "spawn_seed",
     "summarize",
 ]

@@ -44,6 +44,30 @@ def spawn_seed(base_seed: int, run_key: "int | str") -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def replication_seed(base_seed: int, replication: int) -> int:
+    """Derive the root seed of replication ``replication`` of a scenario.
+
+    A thin, documented layer over :func:`spawn_seed`: every replication
+    of a scenario sweep derives one root seed from the scenario's base
+    seed plus the replication index.  All experiment cells of one
+    replication share that seed — the *common random numbers* discipline
+    that pairs cells for low-variance comparisons — while distinct
+    replications draw decorrelated streams.
+
+    The ``rep`` key namespace keeps replication seeds disjoint from the
+    content-keyed ``spawn_seed(config_key)`` scheme of the parallel
+    executor (content keys are ``|``-joined ``field=value`` lists and
+    can never equal ``rep:<n>``), and the ``spawn:`` domain prefix
+    inherited from :func:`spawn_seed` keeps them disjoint from every
+    :meth:`RandomStream.fork` label derivation.
+    """
+    if replication < 0:
+        raise ValueError(
+            f"replication index must be >= 0, got {replication!r}"
+        )
+    return spawn_seed(base_seed, f"rep:{replication}")
+
+
 class RandomStream:
     """A named, independently-seeded source of random variates."""
 

@@ -1,0 +1,140 @@
+"""Statistics layer: t critical values, CIs, warm-up edge cases."""
+
+import math
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.experiments.scenarios.stats import (
+    MetricStats,
+    batch_means_ci,
+    regularized_incomplete_beta,
+    replication_ci,
+    t_cdf,
+    t_critical,
+    warmup_window,
+)
+
+
+class TestIncompleteBeta:
+    def test_boundaries(self):
+        assert regularized_incomplete_beta(2.0, 0.5, 0.0) == 0.0
+        assert regularized_incomplete_beta(2.0, 0.5, 1.0) == 1.0
+
+    def test_symmetric_midpoint(self):
+        # I_{1/2}(a, a) = 1/2 for any a.
+        for a in (0.5, 1.0, 3.0, 10.0):
+            assert regularized_incomplete_beta(a, a, 0.5) == pytest.approx(
+                0.5, abs=1e-10
+            )
+
+    def test_monotone_in_x(self):
+        values = [
+            regularized_incomplete_beta(2.5, 0.5, x)
+            for x in (0.1, 0.3, 0.5, 0.7, 0.9)
+        ]
+        assert values == sorted(values)
+
+
+class TestStudentT:
+    def test_cdf_symmetry(self):
+        assert t_cdf(0.0, 5) == 0.5
+        assert t_cdf(1.7, 5) + t_cdf(-1.7, 5) == pytest.approx(1.0)
+
+    def test_cdf_rejects_bad_df(self):
+        with pytest.raises(StatisticsError):
+            t_cdf(1.0, 0)
+
+    def test_critical_values_match_tables(self):
+        """Standard table values, the cross-check that the pure-Python
+        beta/bisection path reproduces scipy.stats.t.ppf."""
+        assert t_critical(1, 0.95) == pytest.approx(12.7062, abs=1e-3)
+        assert t_critical(4, 0.95) == pytest.approx(2.7764, abs=1e-3)
+        assert t_critical(9, 0.95) == pytest.approx(2.2622, abs=1e-3)
+        assert t_critical(9, 0.99) == pytest.approx(3.2498, abs=1e-3)
+        assert t_critical(29, 0.95) == pytest.approx(2.0452, abs=1e-3)
+        # Large df converges to the normal quantile 1.95996.
+        assert t_critical(10_000, 0.95) == pytest.approx(1.9602, abs=1e-3)
+
+    def test_critical_rejects_bad_confidence(self):
+        with pytest.raises(StatisticsError):
+            t_critical(4, 0.0)
+        with pytest.raises(StatisticsError):
+            t_critical(4, 1.0)
+
+    def test_critical_is_deterministic(self):
+        assert t_critical(7, 0.95) == t_critical(7, 0.95)
+
+
+class TestReplicationCI:
+    def test_zero_samples_raise(self):
+        with pytest.raises(StatisticsError):
+            replication_ci([])
+
+    def test_single_sample_degenerate_interval(self):
+        stats = replication_ci([0.42])
+        assert stats == MetricStats(
+            mean=0.42, half_width=0.0, n=1, std=0.0, confidence=0.95
+        )
+
+    def test_known_half_width(self):
+        # mean 3, sample std 1, n=5 -> hw = t(4, .95) / sqrt(5).
+        stats = replication_ci([1.0, 2.0, 3.0, 4.0, 5.0])
+        expected = t_critical(4, 0.95) * math.sqrt(2.5) / math.sqrt(5)
+        assert stats.mean == 3.0
+        assert stats.half_width == pytest.approx(expected)
+        assert stats.low == pytest.approx(3.0 - expected)
+        assert stats.high == pytest.approx(3.0 + expected)
+
+    def test_identical_samples_zero_width(self):
+        stats = replication_ci([7.0] * 10)
+        assert stats.mean == 7.0
+        assert stats.half_width == 0.0
+
+    def test_formatted(self):
+        assert replication_ci([1.0, 3.0]).formatted(2) == "2.00 ± 12.71"
+
+
+class TestBatchMeansCI:
+    def test_single_batch_raises(self):
+        with pytest.raises(StatisticsError):
+            batch_means_ci([1.0, 2.0, 3.0], batches=1)
+
+    def test_too_few_samples_raise(self):
+        with pytest.raises(StatisticsError):
+            batch_means_ci([1.0, 2.0], batches=3)
+
+    def test_remainder_dropped_from_front(self):
+        # 7 samples, 3 batches -> size 2, the first sample is dropped.
+        stats = batch_means_ci(
+            [99.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0], batches=3
+        )
+        assert stats.mean == 2.0
+        assert stats.n == 3
+
+    def test_constant_series_zero_width(self):
+        stats = batch_means_ci([5.0] * 40, batches=4)
+        assert stats.mean == 5.0
+        assert stats.half_width == 0.0
+
+
+class TestWarmupWindow:
+    def test_window_bounds(self):
+        assert warmup_window(3600.0, 0.25) == (900.0, 3600.0)
+        assert warmup_window(3600.0, 0.0) == (0.0, 3600.0)
+
+    def test_full_warmup_raises(self):
+        with pytest.raises(StatisticsError):
+            warmup_window(3600.0, 1.0)
+
+    def test_over_full_warmup_raises(self):
+        with pytest.raises(StatisticsError):
+            warmup_window(3600.0, 1.5)
+
+    def test_negative_warmup_raises(self):
+        with pytest.raises(StatisticsError):
+            warmup_window(3600.0, -0.1)
+
+    def test_nonpositive_horizon_raises(self):
+        with pytest.raises(StatisticsError):
+            warmup_window(0.0, 0.1)

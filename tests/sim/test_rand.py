@@ -5,7 +5,7 @@ import math
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim import RandomStream, cumulative, spawn_seed
+from repro.sim import RandomStream, cumulative, replication_seed, spawn_seed
 
 
 def test_same_seed_same_sequence():
@@ -186,3 +186,70 @@ def test_spawn_method_matches_function():
 def test_spawn_seed_in_64_bit_range(base_seed, run_index):
     seed = spawn_seed(base_seed, run_index)
     assert 0 <= seed < 2**64
+
+
+# ----------------------------------------------------------------------
+# The per-replication seed scheme the scenario registry rides on.
+# ----------------------------------------------------------------------
+def test_replication_seed_is_reproducible():
+    assert replication_seed(42, 0) == replication_seed(42, 0)
+    assert replication_seed(42, 9) == replication_seed(42, 9)
+
+
+def test_replication_seed_rejects_negative_index():
+    with pytest.raises(ValueError):
+        replication_seed(42, -1)
+
+
+def test_replication_seeds_collision_free_to_1000():
+    """Replication indices 0..999 map to 1000 distinct seeds, and the
+    derivation never degenerates to the base seed itself."""
+    seeds = {replication_seed(42, rep) for rep in range(1000)}
+    assert len(seeds) == 1000
+    assert 42 not in seeds
+
+
+@given(st.integers(min_value=0, max_value=2**31),
+       st.integers(min_value=0, max_value=999),
+       st.integers(min_value=0, max_value=999))
+def test_replication_seeds_pairwise_distinct(base_seed, rep_a, rep_b):
+    seed_a = replication_seed(base_seed, rep_a)
+    seed_b = replication_seed(base_seed, rep_b)
+    assert (seed_a == seed_b) == (rep_a == rep_b)
+
+
+@given(st.integers(min_value=0, max_value=2**31),
+       st.integers(min_value=0, max_value=999))
+def test_replication_streams_decorrelated_from_neighbours(base_seed, rep):
+    """Adjacent replications' root streams share no draw prefix — the
+    statistical independence every confidence interval assumes."""
+    a = RandomStream(replication_seed(base_seed, rep))
+    b = RandomStream(replication_seed(base_seed, rep + 1))
+    assert [a.random() for __ in range(8)] != [b.random() for __ in range(8)]
+
+
+@given(st.integers(min_value=0, max_value=2**31),
+       st.integers(min_value=0, max_value=999))
+def test_replication_seed_disjoint_from_fork_domain(base_seed, rep):
+    """A replication's root stream never collides with any fork child
+    of the base stream, including one literally labelled ``rep:<n>`` —
+    fork varies the label under the same seed, replication_seed derives
+    a new seed under the ``spawn:`` domain prefix."""
+    base = RandomStream(base_seed)
+    rep_stream = RandomStream(replication_seed(base_seed, rep))
+    forked = base.fork(f"rep:{rep}")
+    assert rep_stream.seed != forked.seed
+    assert [rep_stream.random() for __ in range(8)] != [
+        forked.random() for __ in range(8)
+    ]
+
+
+@given(st.integers(min_value=0, max_value=2**31),
+       st.integers(min_value=0, max_value=999))
+def test_replication_seed_disjoint_from_content_key_spawns(base_seed, rep):
+    """The ``rep:<n>`` key namespace never collides with the parallel
+    executor's content-keyed spawn scheme (``|``-joined field=value
+    lists), so decorrelate_seeds and replication seeding compose."""
+    assert replication_seed(base_seed, rep) != spawn_seed(
+        base_seed, f"granularity='HC'|seed={rep}"
+    )
