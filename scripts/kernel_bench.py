@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Kernel throughput benchmark: events/sec, scale ladder, peak RSS.
+
+Runs the fault-injection fleet scenario (timeouts + retries + loss, the
+workload that exercises lazy cancellation hardest) at a ladder of client
+populations.  Each measurement runs in a *fresh* spawned subprocess so
+``resource.getrusage`` reports that run's peak RSS alone and no warm
+caches leak between sizes.  Results land in ``BENCH_kernel.json`` at the
+repo root, alongside the frozen pre-overhaul baseline the CI regression
+gate compares against.
+
+Usage::
+
+    PYTHONPATH=src python scripts/kernel_bench.py            # measure + write
+    PYTHONPATH=src python scripts/kernel_bench.py --check \
+        [--tolerance 0.2]                                    # CI regression gate
+
+``--check`` re-measures the headline size only and fails (exit 1) when
+its events/sec drops more than ``--tolerance`` below the committed
+number — wallclock noise between machines is expected, hence the wide
+default band.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_PATH = _ROOT / "BENCH_kernel.json"
+
+#: Client populations measured, smallest first; the last entry is the
+#: headline size the acceptance gate and CI check compare on.
+SIZE_LADDER = (100, 300, 1000)
+
+#: Wallclock budget (seconds) behind the "clients supported" estimate.
+TIME_BUDGET_SECONDS = 30.0
+
+#: Repetitions per size; the entry keeps the fastest run (throughput
+#: benchmarking on a shared machine: the minimum is the least-noisy
+#: estimate of the kernel's actual cost).
+REPS = 3
+
+#: Scenario knobs shared by every measurement (and by the frozen
+#: baseline): a quarter simulated hour with message loss, request
+#: timeouts and a retry budget, so the kernel pays for cancellation on
+#: every request that completes before its timeout fires.
+SCENARIO = {
+    "horizon_hours": 0.25,
+    "request_timeout_seconds": 20.0,
+    "retry_budget": 2,
+    "loss_rate": 0.05,
+}
+
+
+def calibrate(reps: int = 5) -> float:
+    """Seconds for a fixed, deterministic kernel-shaped workload.
+
+    Wallclock throughput numbers only transfer across machines (and
+    across load spikes on one machine) when normalised by how fast the
+    measuring host runs plain Python at that moment.  This spins a
+    fixed heap push/pop mix — the same operation class the kernel's
+    hot loop is made of — and returns the best-of-``reps`` time.
+    Comparisons scale their floors by the ratio of the recorded score
+    to a freshly measured one.
+    """
+    import heapq
+    import time
+
+    best = float("inf")
+    for __ in range(reps):
+        started = time.perf_counter()
+        heap: list[tuple[int, int]] = []
+        push, pop = heapq.heappush, heapq.heappop
+        for i in range(120_000):
+            push(heap, ((i * 2654435761) % 1000003, i))
+            if i % 3 == 0:
+                pop(heap)
+        while heap:
+            pop(heap)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _measure(num_clients: int) -> dict:
+    """One timed run at ``num_clients``; executed in a fresh subprocess."""
+    import resource
+    import time
+
+    from repro.experiments.config import SimulationConfig
+    from repro.experiments.runner import Simulation
+
+    config = SimulationConfig(num_clients=num_clients, **SCENARIO)
+    started = time.perf_counter()
+    simulation = Simulation(config)
+    setup_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    result = simulation.run()
+    run_seconds = time.perf_counter() - started
+    return {
+        "num_clients": num_clients,
+        "events": result.events_processed,
+        "requests_served": result.requests_served,
+        "setup_seconds": round(setup_seconds, 3),
+        "run_seconds": round(run_seconds, 3),
+        "events_per_sec": round(result.events_processed / run_seconds, 1),
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def measure_in_subprocess(num_clients: int, reps: int = REPS) -> dict:
+    """Best of ``reps`` fresh-subprocess runs of :func:`_measure`.
+
+    One worker process per repetition, so every ``ru_maxrss`` reading
+    covers exactly one run and no allocator state carries over.
+    """
+    best: dict | None = None
+    for __ in range(reps):
+        with ProcessPoolExecutor(
+            max_workers=1, mp_context=get_context("spawn")
+        ) as pool:
+            sample = pool.submit(_measure, num_clients).result()
+        if best is None or sample["run_seconds"] < best["run_seconds"]:
+            best = sample
+    assert best is not None
+    return best
+
+
+def clients_at_budget(headline: dict) -> int:
+    """Clients supported inside the wallclock budget, extrapolated.
+
+    Both setup and run time scale close to linearly with the client
+    population at fixed horizon, so the headline measurement's
+    seconds-per-client ratio projects the budget onto a population.
+    """
+    total = headline["setup_seconds"] + headline["run_seconds"]
+    per_client = total / headline["num_clients"]
+    return int(TIME_BUDGET_SECONDS / per_client)
+
+
+def run_ladder() -> dict:
+    document = {
+        "schema": "kernel-bench/v1",
+        "scenario": dict(SCENARIO),
+        "time_budget_seconds": TIME_BUDGET_SECONDS,
+        "reps": REPS,
+        "calibration_seconds": round(calibrate(), 4),
+        "entries": [],
+    }
+    if RESULTS_PATH.exists():
+        previous = json.loads(RESULTS_PATH.read_text())
+        if "baseline" in previous:
+            document["baseline"] = previous["baseline"]
+    for size in SIZE_LADDER:
+        entry = measure_in_subprocess(size)
+        document["entries"].append(entry)
+        print(
+            f"n={size:5d}: {entry['events']} events in "
+            f"{entry['run_seconds']:.2f}s run "
+            f"(+{entry['setup_seconds']:.2f}s setup) -> "
+            f"{entry['events_per_sec']:,.0f} events/sec, "
+            f"peak RSS {entry['peak_rss_kb']} KB"
+        )
+    document["clients_at_budget"] = clients_at_budget(
+        document["entries"][-1]
+    )
+    print(
+        f"~{document['clients_at_budget']} clients fit the "
+        f"{TIME_BUDGET_SECONDS:.0f}s budget"
+    )
+    return document
+
+
+def check(tolerance: float) -> int:
+    """CI gate: headline events/sec within ``tolerance`` of committed."""
+    if not RESULTS_PATH.exists():
+        print(f"no committed results at {RESULTS_PATH}", file=sys.stderr)
+        return 1
+    committed = json.loads(RESULTS_PATH.read_text())
+    headline = committed["entries"][-1]
+    # Normalise for machine speed: the committed number was produced on
+    # a host whose calibration score is in the file; scale the floor by
+    # how this host compares right now.
+    speed_ratio = committed["calibration_seconds"] / calibrate()
+    current = measure_in_subprocess(headline["num_clients"])
+    floor = headline["events_per_sec"] * speed_ratio * (1.0 - tolerance)
+    print(
+        f"committed {headline['events_per_sec']:,.0f} events/sec, "
+        f"current {current['events_per_sec']:,.0f}, "
+        f"floor {floor:,.0f} "
+        f"(speed ratio {speed_ratio:.2f}, tolerance {tolerance:.0%})"
+    )
+    if current["events_per_sec"] < floor:
+        print("kernel throughput regression", file=sys.stderr)
+        return 1
+    print("kernel throughput OK")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against committed BENCH_kernel.json instead of "
+        "rewriting it",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional events/sec drop in --check mode "
+        "(default: 0.2)",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        return check(args.tolerance)
+    document = run_ladder()
+    RESULTS_PATH.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

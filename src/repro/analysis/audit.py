@@ -173,9 +173,15 @@ class DeterminismAuditor:
         time: float,
         priority: int,
         event: Event,
-        queue: "list[tuple[float, int, int, Event]]",
+        head: "tuple[float, int, Event] | None",
     ) -> None:
-        """Record one heap pop (called by the kernel step loop)."""
+        """Record one event pop (called by the kernel step loop).
+
+        ``head`` is the kernel's *next* pending live entry as
+        ``(time, priority, event)`` — the kernel computes it across its
+        internal queue structures (heap plus imminent buckets) — or
+        ``None`` when nothing else is queued.
+        """
         names = _waiter_names(event)
         token = (
             f"{time!r}|{priority}|{type(event).__name__}|{','.join(names)}"
@@ -187,9 +193,9 @@ class DeterminismAuditor:
         if popped_immediate:
             self._immediate.discard(id(event))
 
-        if not queue:
+        if head is None:
             return
-        head_time, head_priority, _seq, head_event = queue[0]
+        head_time, head_priority, head_event = head
         if head_time != time or head_priority != priority:
             return
         head_names = _waiter_names(head_event)

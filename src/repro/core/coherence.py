@@ -28,11 +28,18 @@ from repro.sim.monitor import Tally
 class WriteIntervalStats:
     """Welford-online mean/std of one item's write inter-arrival times."""
 
-    __slots__ = ("_last_write", "_tally")
+    __slots__ = ("_last_write", "_tally", "_cached", "_cached_beta")
 
     def __init__(self) -> None:
         self._last_write: float | None = None
         self._tally = Tally("write-intervals")
+        #: Memoized ``refresh_time`` answer: the estimate only moves
+        #: when a write lands, but the server asks for it on every
+        #: reply item — hundreds of times between writes at fleet
+        #: scale.  ``_cached_beta`` guards against a caller varying
+        #: beta (the estimators never do, but the API allows it).
+        self._cached: float | None = None
+        self._cached_beta = 0.0
 
     @property
     def interval_count(self) -> int:
@@ -43,6 +50,7 @@ class WriteIntervalStats:
         if self._last_write is not None:
             self._tally.record(max(0.0, now - self._last_write))
         self._last_write = now
+        self._cached = None
 
     def refresh_time(self, beta: float) -> float:
         """``mean + beta * std`` of the write gaps, clamped at zero.
@@ -52,10 +60,15 @@ class WriteIntervalStats:
         scheme simply has nothing to invalidate it with until writes
         arrive).
         """
+        if self._cached is not None and beta == self._cached_beta:
+            return self._cached
         if self._tally.count == 0:
-            return NEVER_EXPIRES
-        estimate = self._tally.mean + beta * self._tally.std
-        return max(0.0, estimate)
+            estimate = NEVER_EXPIRES
+        else:
+            estimate = max(0.0, self._tally.mean + beta * self._tally.std)
+        self._cached = estimate
+        self._cached_beta = beta
+        return estimate
 
 
 class RefreshTimeEstimator:

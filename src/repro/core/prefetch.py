@@ -42,13 +42,20 @@ class AttributeAccessTracker:
         #: Floor the threshold at the uniform share 1/n (see module docs).
         self.floor_at_uniform = floor_at_uniform
         self._counts: dict[tuple[int, str], dict[str, int]] = {}
+        #: Bumped per recorded access; keys the prefetch-set memo below.
+        self._versions: dict[tuple[int, str], int] = {}
+        self._prefetch_cache: dict[
+            tuple[int, str], tuple[int, frozenset[str]]
+        ] = {}
 
     def record_access(
         self, client_id: int, class_name: str, attribute: str
     ) -> None:
         """Count one access by ``client_id`` to ``class_name.attribute``."""
-        counts = self._counts.setdefault((client_id, class_name), {})
+        key = (client_id, class_name)
+        counts = self._counts.setdefault(key, {})
         counts[attribute] = counts.get(attribute, 0) + 1
+        self._versions[key] = self._versions.get(key, 0) + 1
 
     def access_probabilities(
         self, client_id: int, class_name: str
@@ -62,15 +69,16 @@ class AttributeAccessTracker:
             name: count / total for name, count in sorted(counts.items())
         }
 
-    def threshold(self, client_id: int, class_def: ClassDef) -> float:
-        """Current prefetch threshold for this client and class.
+    def _cutoff(
+        self, probabilities: dict[str, float], class_def: ClassDef
+    ) -> float:
+        """Threshold for a probability table already in hand.
 
         The floor uses the uniform share over the attributes this client
         actually accesses (e.g. the nine primitives under AQ, all twelve
         under NQ), so attributes the workload never touches do not dilute
         the bar the hot ones must clear.
         """
-        probabilities = self.access_probabilities(client_id, class_def.name)
         all_names = class_def.attribute_names
         values = [probabilities.get(name, 0.0) for name in all_names]
         mean = sum(values) / len(values)
@@ -81,22 +89,45 @@ class AttributeAccessTracker:
             cutoff = max(cutoff, 1.0 / observed)
         return cutoff
 
-    def prefetch_set(self, client_id: int, class_def: ClassDef) -> set[str]:
+    def threshold(self, client_id: int, class_def: ClassDef) -> float:
+        """Current prefetch threshold for this client and class."""
+        return self._cutoff(
+            self.access_probabilities(client_id, class_def.name), class_def
+        )
+
+    def prefetch_set(
+        self, client_id: int, class_def: ClassDef
+    ) -> frozenset[str]:
         """Attributes worth prefetching for this client.
 
         Attributes whose observed access probability strictly exceeds the
         threshold.  With no observations yet the set is empty — HC
         degrades to AC until statistics accumulate.
+
+        The result is memoized per (client, class) and recomputed only
+        after new accesses are recorded: the server asks once per
+        qualified object while serving a request, but the statistics can
+        only change between requests, so all but the first ask per
+        request hit the cache.  Frozen so the shared answer cannot be
+        mutated by one caller under another.
         """
+        key = (client_id, class_def.name)
+        version = self._versions.get(key, 0)
+        cached = self._prefetch_cache.get(key)
+        if cached is not None and cached[0] == version:
+            return cached[1]
         probabilities = self.access_probabilities(client_id, class_def.name)
         if not probabilities:
-            return set()
-        cutoff = self.threshold(client_id, class_def)
-        return {
-            name
-            for name, probability in probabilities.items()
-            if probability > cutoff
-        }
+            result: frozenset[str] = frozenset()
+        else:
+            cutoff = self._cutoff(probabilities, class_def)
+            result = frozenset(
+                name
+                for name, probability in probabilities.items()
+                if probability > cutoff
+            )
+        self._prefetch_cache[key] = (version, result)
+        return result
 
     def observed_classes(self) -> list[tuple[int, str]]:
         """(client, class) pairs with recorded statistics."""

@@ -54,6 +54,9 @@ class SimulationResult:
     server_buffer_hit_ratio: float
     items_prefetched: int
     requests_served: int
+    #: Kernel events processed over the whole run (deterministic for a
+    #: given config; the numerator of the events/sec benchmarks).
+    events_processed: int = 0
     # -- fault-injection / recovery accounting (Experiment #7) ----------
     messages_dropped: int = 0
     messages_aborted: int = 0
@@ -330,6 +333,7 @@ class Simulation:
             server_buffer_hit_ratio=self.server.storage.buffer_hit_ratio,
             items_prefetched=self.server.items_prefetched,
             requests_served=self.server.requests_served,
+            events_processed=self.env.events_processed,
             messages_dropped=self.network.messages_dropped,
             messages_aborted=self.network.messages_aborted,
             retries=summary.total_retries,

@@ -32,17 +32,37 @@ E = t.TypeVar("E", bound=SimEvent)
 _NO_HANDLERS: tuple[Handler, ...] = ()
 
 
+class _TypeRecord:
+    """Per-type dispatch cache: one counter plus the flattened handlers.
+
+    Built on first emit of a type and patched in place whenever a
+    subscription changes, so :meth:`EventBus.emit` — the always-on hot
+    path, run once per published event — costs a single dict probe, one
+    integer increment and the handler loop.  For an always-on type with
+    no subscribers the handler tuple is empty, so the count bookkeeping
+    short-circuits to just the increment (no name lookup, no dict
+    writes, no second dispatch-table probe).
+    """
+
+    __slots__ = ("name", "count", "handlers")
+
+    def __init__(self, name: str, handlers: tuple[Handler, ...]) -> None:
+        self.name = name
+        self.count = 0
+        self.handlers = handlers
+
+
 class EventBus:
     """Type-dispatched publish/subscribe hub with per-type counters."""
 
-    __slots__ = ("_handlers", "_catch_all", "counts", "sinks")
+    __slots__ = ("_handlers", "_catch_all", "_records", "sinks")
 
     def __init__(self) -> None:
         self._handlers: dict[type[SimEvent], tuple[Handler, ...]] = {}
         self._catch_all: tuple[Handler, ...] = ()
-        #: Emitted-event tally per type name; deterministic for a given
-        #: configuration and sink set, surfaced in run results.
-        self.counts: dict[str, int] = {}
+        #: Dispatch cache, keyed by exact event type; also the backing
+        #: store for the per-type emit counters (see :attr:`counts`).
+        self._records: dict[type[SimEvent], _TypeRecord] = {}
         #: Named sink registry so wiring code can share one sink per bus
         #: (e.g. the metrics sink all clients report through).
         self.sinks: dict[str, object] = {}
@@ -51,7 +71,7 @@ class EventBus:
         return (
             f"<EventBus types={len(self._handlers)} "
             f"catch_all={len(self._catch_all)} "
-            f"emitted={sum(self.counts.values())}>"
+            f"emitted={sum(r.count for r in self._records.values())}>"
         )
 
     # ------------------------------------------------------------------
@@ -64,10 +84,18 @@ class EventBus:
         self._handlers[event_type] = existing + (
             t.cast(Handler, handler),
         )
+        record = self._records.get(event_type)
+        if record is not None:
+            record.handlers = self._handlers[event_type] + self._catch_all
 
     def subscribe_all(self, handler: Handler) -> None:
         """Deliver every emitted event of any type to ``handler``."""
         self._catch_all = self._catch_all + (handler,)
+        for event_type, record in self._records.items():
+            record.handlers = (
+                self._handlers.get(event_type, _NO_HANDLERS)
+                + self._catch_all
+            )
 
     def wants(self, event_type: type[SimEvent]) -> bool:
         """Whether anyone would see ``event_type`` — the emit guard.
@@ -82,10 +110,25 @@ class EventBus:
     def emit(self, event: SimEvent) -> None:
         """Publish ``event`` to its subscribers (and catch-all sinks)."""
         cls = type(event)
-        name = cls.__name__
-        counts = self.counts
-        counts[name] = counts.get(name, 0) + 1
-        for handler in self._handlers.get(cls, _NO_HANDLERS):
+        record = self._records.get(cls)
+        if record is None:
+            record = self._records[cls] = _TypeRecord(
+                cls.__name__,
+                self._handlers.get(cls, _NO_HANDLERS) + self._catch_all,
+            )
+        record.count += 1
+        for handler in record.handlers:
             handler(event)
-        for handler in self._catch_all:
-            handler(event)
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Emitted-event tally per type name, in first-emit order.
+
+        Deterministic for a given configuration and sink set (first-emit
+        order is simulation order), surfaced in run results.  Built on
+        demand from the dispatch cache so the per-emit cost is a single
+        integer increment.
+        """
+        return {
+            record.name: record.count for record in self._records.values()
+        }

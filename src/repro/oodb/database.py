@@ -5,7 +5,7 @@ from __future__ import annotations
 import typing as t
 
 from repro.errors import QueryError, SchemaError
-from repro.oodb.objects import DBObject, OID
+from repro.oodb.objects import DBObject, OID, oid_sort_key
 from repro.oodb.schema import Schema, default_root_schema
 from repro.sim.rand import RandomStream
 
@@ -19,6 +19,11 @@ class Database:
     def __init__(self, schema: Schema) -> None:
         self.schema = schema
         self._objects: dict[OID, DBObject] = {}
+        #: Memoized sorted OID listings keyed by class filter; every
+        #: client's heat distribution asks for the same listing at setup,
+        #: so the sort must not be repeated per client.  Invalidated on
+        #: :meth:`add`.
+        self._oid_cache: dict[str | None, list[OID]] = {}
 
     def __repr__(self) -> str:
         return f"<Database objects={len(self._objects)}>"
@@ -37,6 +42,7 @@ class Database:
                 f"object {obj.oid} has class outside this schema"
             )
         self._objects[obj.oid] = obj
+        self._oid_cache.clear()
 
     def get(self, oid: OID) -> DBObject:
         try:
@@ -46,11 +52,21 @@ class Database:
 
     def oids(self, class_name: str | None = None) -> list[OID]:
         """All OIDs, optionally restricted to one class (sorted, stable)."""
-        if class_name is None:
-            return sorted(self._objects)
-        return sorted(
-            oid for oid in self._objects if oid.class_name == class_name
-        )
+        cached = self._oid_cache.get(class_name)
+        if cached is None:
+            if class_name is None:
+                selected: t.Iterable[OID] = self._objects
+            else:
+                selected = (
+                    oid
+                    for oid in self._objects
+                    if oid.class_name == class_name
+                )
+            cached = self._oid_cache[class_name] = sorted(
+                selected, key=oid_sort_key
+            )
+        # A fresh list per call: callers may mutate their copy.
+        return list(cached)
 
     def objects(self) -> t.Iterable[DBObject]:
         return self._objects.values()

@@ -23,8 +23,30 @@ class OID:
     class_name: str
     number: int
 
+    def __post_init__(self) -> None:
+        # OIDs key every hot dict and set in the serve path (millions of
+        # lookups per fleet-scale run); the generated dataclass hash
+        # rebuilds a field tuple on every call, so cache it once.  Same
+        # value as hash((class_name, number)) — set/dict behaviour is
+        # unchanged.
+        object.__setattr__(self, "_hash", hash((self.class_name, self.number)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined, no-any-return]
+
     def __repr__(self) -> str:
         return f"{self.class_name}#{self.number}"
+
+
+def oid_sort_key(oid: OID) -> tuple[str, int]:
+    """Sort key identical to :class:`OID`'s dataclass ordering.
+
+    ``sorted(oids)`` goes through the generated ``__lt__``, which builds
+    two field tuples per *comparison*; a key function builds one tuple
+    per *element*.  Same total order, an order of magnitude cheaper on
+    the fleet-scale setup path (thousands of per-client hot-set sorts).
+    """
+    return (oid.class_name, oid.number)
 
 
 @dataclasses.dataclass

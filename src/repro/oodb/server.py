@@ -355,11 +355,15 @@ class DatabaseServer:
 
     def _attribute_item(self, obj: DBObject, attribute: str) -> ReplyItem:
         definition = obj.class_def.attribute(attribute)
+        # One state lookup instead of separate read()/version_of() trips:
+        # this constructor runs per attribute shipped, the hottest spot
+        # of the whole serve path at fleet scale.
+        state = obj.attribute_state(attribute)
         return ReplyItem(
             oid=obj.oid,
             attribute=attribute,
-            value=obj.read(attribute),
-            version=obj.version_of(attribute),
+            value=state.value,
+            version=state.version,
             refresh_time=self._refresh_time(
                 self.attribute_estimator, (obj.oid, attribute)
             ),

@@ -1,9 +1,31 @@
-"""The simulation environment: clock, event queue and run loop."""
+"""The simulation environment: clock, event queue and run loop.
+
+Two structures back the pending-event set:
+
+* a binary **heap** of ``(time, priority, sequence, event)`` entries for
+  events scheduled with a positive delay, and
+* per-priority FIFO **imminent buckets** for events scheduled with zero
+  delay.  A zero-delay event always fires at the *current* instant (the
+  buckets are drained before the clock can advance), so a plain deque
+  append/popleft replaces two O(log n) heap operations on the kernel's
+  hottest path — process resumes, interrupts and same-instant cascades
+  are all zero-delay.
+
+The pop rule compares the heap head against the front of the best
+bucket by the same ``(time, priority, sequence)`` key a single heap
+would use, so the total event order — and therefore every simulation
+result — is bit-identical to the one-heap kernel.
+
+Cancellation is **lazy**: :meth:`Environment.cancel` marks a queued
+event *defused* in O(1) and the pop loop skips the dead entry when it
+surfaces, instead of an O(n) scan-and-remove at cancel time.
+"""
 
 from __future__ import annotations
 
 import heapq
 import typing as t
+from collections import deque
 from itertools import count
 
 from repro.errors import SchedulingError, SimulationError, StopSimulation
@@ -13,6 +35,13 @@ from repro.sim.process import Process, ProcessGenerator
 if t.TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.audit import DeterminismAuditor
     from repro.obs.profiler import WallClockProfiler
+
+#: One pending heap entry: (time, priority, sequence, event).
+QueueEntry = tuple[float, int, int, Event]
+
+#: The next event to fire, as handed to the determinism auditor:
+#: (time, priority, event).
+NextEntry = tuple[float, int, Event]
 
 
 class Environment:
@@ -29,9 +58,20 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0, audit: bool = False) -> None:
         self._now = float(initial_time)
-        #: Heap of (time, priority, sequence, event).
-        self._queue: list[tuple[float, int, int, Event]] = []
+        #: Heap of (time, priority, sequence, event) for delay > 0.
+        self._queue: list[QueueEntry] = []
+        #: Zero-delay events, bucketed by priority; each bucket is a FIFO
+        #: of (sequence, event).  Every bucketed entry fires at `_now`.
+        self._imminent: dict[int, deque[tuple[int, Event]]] = {}
+        #: Bucket priorities in ascending order (tiny: 2-3 entries).
+        self._imminent_order: list[int] = []
+        #: Total entries across all buckets (including defused ones).
+        self._imminent_size = 0
+        #: Live (non-defused) entries across heap and buckets.
+        self._live = 0
         self._seq = count()
+        #: Events processed since construction — the benchmark numerator.
+        self.events_processed = 0
         self._active_process: Process | None = None
         #: Optional wall-clock profiler; ``None`` (the default) costs a
         #: single attribute check per step.  When set, every callback
@@ -50,7 +90,7 @@ class Environment:
             self.auditor = DeterminismAuditor()
 
     def __repr__(self) -> str:
-        return f"<Environment now={self._now!r} pending={len(self._queue)}>"
+        return f"<Environment now={self._now!r} pending={self._live}>"
 
     @property
     def now(self) -> float:
@@ -96,27 +136,136 @@ class Environment:
         """Queue ``event`` to be processed ``delay`` seconds from now."""
         if delay < 0:
             raise SchedulingError(f"cannot schedule into the past: {delay!r}")
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._seq), event)
-        )
+        if delay == 0:
+            bucket = self._imminent.get(priority)
+            if bucket is None:
+                bucket = self._imminent[priority] = deque()
+                self._imminent_order = sorted(self._imminent)
+            bucket.append((next(self._seq), event))
+            self._imminent_size += 1
+        else:
+            heapq.heappush(
+                self._queue,
+                (self._now + delay, priority, next(self._seq), event),
+            )
+        self._live += 1
         auditor = self.auditor
         if auditor is not None:
             auditor.note_scheduled(event, delay)
 
+    def cancel(self, event: Event) -> None:
+        """Lazily cancel a triggered-but-unprocessed event.
+
+        The event's queue entry stays where it is and is skipped when it
+        surfaces at pop time — O(1) now, with the eventual skip absorbed
+        into a pop the entry would have cost anyway — instead of an O(n)
+        scan-and-remove.  The event becomes *defused*: terminal, never
+        processed, its callbacks discarded.  Only cancel an event no
+        process will ever wait on again (a process yielding a defused
+        event raises, because it would otherwise wait forever).
+        """
+        if event._defused:
+            return
+        if not event.triggered or event.callbacks is None:
+            raise SchedulingError(
+                f"cannot cancel {event!r}: only triggered, unprocessed "
+                "events hold a queue entry"
+            )
+        event._defused = True
+        event.callbacks = None
+        self._live -= 1
+
+    def _peek_entry(self) -> "NextEntry | None":
+        """The next live event as ``(time, priority, event)``, or ``None``.
+
+        Purges defused entries from the heads of both structures as a
+        side effect (never changing which live event comes next).
+        """
+        queue = self._queue
+        while queue and queue[0][3]._defused:
+            heapq.heappop(queue)
+        bucket_priority = 0
+        bucket_front: "tuple[int, Event] | None" = None
+        if self._imminent_size:
+            for priority in self._imminent_order:
+                bucket = self._imminent[priority]
+                while bucket and bucket[0][1]._defused:
+                    bucket.popleft()
+                    self._imminent_size -= 1
+                if bucket:
+                    bucket_priority = priority
+                    bucket_front = bucket[0]
+                    break
+        if bucket_front is not None:
+            if queue:
+                time, priority, seq, event = queue[0]
+                if time == self._now and (priority, seq) < (
+                    bucket_priority,
+                    bucket_front[0],
+                ):
+                    return time, priority, event
+            return self._now, bucket_priority, bucket_front[1]
+        if queue:
+            time, priority, __, event = queue[0]
+            return time, priority, event
+        return None
+
+    def _pop_entry(self) -> NextEntry:
+        """Pop the next live event, skipping defused entries."""
+        queue = self._queue
+        while True:
+            bucket: "deque[tuple[int, Event]] | None" = None
+            bucket_priority = 0
+            if self._imminent_size:
+                for priority in self._imminent_order:
+                    candidate = self._imminent[priority]
+                    if candidate:
+                        bucket = candidate
+                        bucket_priority = priority
+                        break
+            if bucket is not None:
+                if queue:
+                    time, priority, seq, event = queue[0]
+                    # The heap head outranks the bucket front only when it
+                    # fires at this very instant with a smaller
+                    # (priority, sequence) key; bucket entries always carry
+                    # time == now, so the shared sequence counter makes
+                    # this exactly the one-heap (time, priority, seq) order.
+                    if time == self._now and (priority, seq) < (
+                        bucket_priority,
+                        bucket[0][0],
+                    ):
+                        heapq.heappop(queue)
+                        if event._defused:
+                            continue
+                        return time, priority, event
+                seq, event = bucket.popleft()
+                self._imminent_size -= 1
+                if event._defused:
+                    continue
+                return self._now, bucket_priority, event
+            if not queue:
+                raise SimulationError("nothing left to simulate")
+            time, priority, __, event = heapq.heappop(queue)
+            if event._defused:
+                continue
+            return time, priority, event
+
     def peek(self) -> float:
-        """Time of the next event, or ``inf`` when the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next live event, or ``inf`` when none is queued."""
+        head = self._peek_entry()
+        return head[0] if head is not None else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event (advancing the clock to it)."""
-        if not self._queue:
-            raise SimulationError("nothing left to simulate")
-        self._now, priority, __, event = heapq.heappop(self._queue)
+        """Process exactly one live event (advancing the clock to it)."""
+        self._now, priority, event = self._pop_entry()
+        self._live -= 1
+        self.events_processed += 1
         auditor = self.auditor
         if auditor is not None:
             # Before callbacks are detached: the auditor derives waiter
             # process names from them.
-            auditor.observe(self._now, priority, event, self._queue)
+            auditor.observe(self._now, priority, event, self._peek_entry())
         callbacks = event.callbacks
         event.callbacks = None  # marks the event processed
         if callbacks:
@@ -145,7 +294,11 @@ class Environment:
         ``until`` may be:
 
         * ``None`` — run until the event queue drains;
-        * a number — run until the clock reaches that time;
+        * a number — run until the clock reaches that time.  The internal
+          stopper fires at priority −1, ahead of URGENT (0) events at the
+          same instant: anything scheduled for *exactly* the horizon —
+          interrupts included — is never delivered.  The horizon is
+          therefore a half-open interval ``[start, until)``;
         * an :class:`Event` — run until that event is processed, returning
           its value (and raising its exception if it failed).
         """
@@ -155,8 +308,13 @@ class Environment:
         elif isinstance(until, Event):
             if until.processed:
                 return until.value
-            assert until.callbacks is not None
-            until.callbacks.append(self._stop_on_event)
+            callbacks = until.callbacks
+            if callbacks is None:
+                raise SchedulingError(
+                    f"cannot run until {until!r}: it was defused and will "
+                    "never fire"
+                )
+            callbacks.append(self._stop_on_event)
         else:
             at = float(until)
             if at < self._now:
@@ -170,7 +328,7 @@ class Environment:
             self.schedule(stopper, delay=at - self._now, priority=-1)
 
         try:
-            while self._queue:
+            while self._live:
                 self.step()
         except StopSimulation as stop:
             stop_value = stop.value

@@ -10,7 +10,11 @@ An event moves through three states::
     pending  --trigger-->  triggered  --step-->  processed
 
 ``triggered`` means the event has a value and sits in the event queue;
-``processed`` means its callbacks have run.
+``processed`` means its callbacks have run.  A fourth, terminal state —
+*defused* — marks a triggered event whose outcome became irrelevant
+before it was processed (e.g. the losing timeout of a retry race); its
+queue entry is skipped at pop time and its callbacks never run (see
+:meth:`~repro.sim.environment.Environment.cancel`).
 """
 
 from __future__ import annotations
@@ -39,7 +43,7 @@ class Event:
     which is re-raised inside every waiting process).
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -48,10 +52,13 @@ class Event:
         self.callbacks: list[t.Callable[["Event"], None]] | None = []
         self._value: t.Any = _PENDING
         self._ok: bool = True
+        self._defused: bool = False
 
     def __repr__(self) -> str:
         state = (
-            "processed"
+            "defused"
+            if self._defused
+            else "processed"
             if self.processed
             else "triggered"
             if self.triggered
@@ -67,7 +74,16 @@ class Event:
     @property
     def processed(self) -> bool:
         """``True`` once callbacks have been run."""
-        return self.callbacks is None
+        return self.callbacks is None and not self._defused
+
+    @property
+    def defused(self) -> bool:
+        """``True`` once the event was lazily cancelled after triggering.
+
+        A defused event never reaches the processed state: the kernel
+        skips its queue entry at pop time and its callbacks never run.
+        """
+        return self._defused
 
     @property
     def ok(self) -> bool:
@@ -159,7 +175,43 @@ class Timeout(Event):
         return f"<Timeout delay={self.delay!r}>"
 
 
-class AnyOf(Event):
+class Condition(Event):
+    """Shared machinery for composite events (:class:`AnyOf`/:class:`AllOf`).
+
+    Once the composite's outcome is decided, its ``_collect`` callback is
+    detached from every still-pending child — the losers of the race.
+    Without the detachment every retry/timeout race leaves one dead
+    callback behind per loser for the rest of the run (the ``AnyOf``
+    leak); with many clients retrying for hours those accumulate
+    unboundedly.  A losing :class:`Timeout` with no other subscribers is
+    additionally *defused* so the kernel skips its queue entry at pop
+    time (see :meth:`~repro.sim.environment.Environment.cancel`) instead
+    of walking an empty callback list at its expiry instant.
+    """
+
+    __slots__ = ("events",)
+
+    def _collect(self, event: Event) -> None:
+        raise NotImplementedError  # pragma: no cover - subclass hook
+
+    def _detach_losers(self, winner: Event | None) -> None:
+        collect = self._collect
+        for child in self.events:
+            callbacks = child.callbacks
+            if child is winner or callbacks is None:
+                continue
+            try:
+                callbacks.remove(collect)
+            except ValueError:
+                pass
+            # Only Timeouts are defused: they are anonymous fire-and-forget
+            # events, whereas a Store get or a Process may be referenced
+            # (and e.g. cancelled or re-awaited) by other code.
+            if not callbacks and type(child) is Timeout and child.triggered:
+                child.env.cancel(child)
+
+
+class AnyOf(Condition):
     """Composite event that fires when *any* of its children fires.
 
     Its value is a dict mapping each already-triggered child event to that
@@ -167,7 +219,7 @@ class AnyOf(Event):
     first, the composite fails with the child's exception.
     """
 
-    __slots__ = ("events",)
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: t.Iterable[Event]) -> None:
         super().__init__(env)
@@ -177,6 +229,11 @@ class AnyOf(Event):
         for event in self.events:
             if event.env is not env:
                 raise SchedulingError("all events must share one environment")
+        for event in self.events:
+            if self.triggered:
+                # An earlier child already decided the race; the remaining
+                # children are losers and must not be subscribed at all.
+                break
             if event.processed:
                 self._collect(event)
             else:
@@ -188,22 +245,23 @@ class AnyOf(Event):
             return
         if not event.ok:
             self.fail(t.cast(BaseException, event.value))
-            return
-        # Only children that have actually *fired* belong in the value dict
-        # (Timeouts carry their value from creation, so `triggered` alone
-        # would wrongly include still-pending ones).
-        values = {
-            child: child.value
-            for child in self.events
-            if (child.processed or child is event) and child.ok
-        }
-        self.succeed(values)
+        else:
+            # Only children that have actually *fired* belong in the value
+            # dict (Timeouts carry their value from creation, so `triggered`
+            # alone would wrongly include still-pending ones).
+            values = {
+                child: child.value
+                for child in self.events
+                if (child.processed or child is event) and child.ok
+            }
+            self.succeed(values)
+        self._detach_losers(event)
 
 
-class AllOf(Event):
+class AllOf(Condition):
     """Composite event that fires once *all* of its children have fired."""
 
-    __slots__ = ("events", "_remaining")
+    __slots__ = ("_remaining",)
 
     def __init__(self, env: "Environment", events: t.Iterable[Event]) -> None:
         super().__init__(env)
@@ -212,12 +270,14 @@ class AllOf(Event):
         for event in self.events:
             if event.env is not env:
                 raise SchedulingError("all events must share one environment")
+        for event in self.events:
             if not event.processed:
                 self._remaining += 1
                 assert event.callbacks is not None
                 event.callbacks.append(self._collect)
             elif not event.ok:
                 self.fail(t.cast(BaseException, event.value))
+                self._detach_losers(event)
                 return
         if self._remaining == 0 and not self.triggered:
             self.succeed({child: child.value for child in self.events})
@@ -227,6 +287,7 @@ class AllOf(Event):
             return
         if not event.ok:
             self.fail(t.cast(BaseException, event.value))
+            self._detach_losers(event)
             return
         self._remaining -= 1
         if self._remaining == 0:

@@ -12,8 +12,7 @@ from __future__ import annotations
 import math
 import typing as t
 
-#: Two-sided z quantiles for the normal-approximation confidence interval.
-_Z_QUANTILES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+from repro.errors import StatisticsError
 
 
 class Tally:
@@ -24,6 +23,10 @@ class Tally:
         self._count = 0
         self._mean = 0.0
         self._m2 = 0.0
+        #: Exact running sum, kept alongside the Welford state: deriving
+        #: the total as ``mean * count`` re-amplifies the mean's rounding
+        #: error by ``count`` and drifts over millions of samples.
+        self._sum = 0.0
         self._min = math.inf
         self._max = -math.inf
 
@@ -33,6 +36,7 @@ class Tally:
     def record(self, value: float) -> None:
         """Add one observation."""
         self._count += 1
+        self._sum += value
         delta = value - self._mean
         self._mean += delta / self._count
         self._m2 += delta * (value - self._mean)
@@ -63,7 +67,8 @@ class Tally:
 
     @property
     def total(self) -> float:
-        return self._mean * self._count
+        """Exact sum of all recorded observations."""
+        return self._sum
 
     @property
     def minimum(self) -> float:
@@ -76,14 +81,31 @@ class Tally:
     def confidence_interval(
         self, level: float = 0.95
     ) -> tuple[float, float]:
-        """Normal-approximation CI for the mean at the given level."""
-        if level not in _Z_QUANTILES:
-            raise ValueError(
-                f"unsupported level {level!r}; use one of {sorted(_Z_QUANTILES)}"
+        """Student-t confidence interval for the mean.
+
+        Any level in the open interval (0, 1) is accepted; the critical
+        value comes from the dependency-free t machinery in
+        :mod:`repro.experiments.scenarios.stats` (exact for every level
+        and degree of freedom, unlike the three hard-coded z quantiles
+        this replaced).  Raises :class:`~repro.errors.StatisticsError`
+        for a level outside (0, 1); fewer than two observations yield a
+        degenerate (zero-width) interval.
+        """
+        if not 0.0 < level < 1.0:
+            raise StatisticsError(
+                f"confidence level must lie in (0, 1), got {level!r}"
             )
         if self._count < 2:
             return (self.mean, self.mean)
-        half = _Z_QUANTILES[level] * self.std / math.sqrt(self._count)
+        # Imported lazily: the experiments package imports the kernel, so
+        # a module-level import here would be a cycle.
+        from repro.experiments.scenarios.stats import t_critical
+
+        half = (
+            t_critical(self._count - 1, level)
+            * self.std
+            / math.sqrt(self._count)
+        )
         return (self._mean - half, self._mean + half)
 
     def merge(self, other: "Tally") -> None:
@@ -94,6 +116,7 @@ class Tally:
             self._count = other._count
             self._mean = other._mean
             self._m2 = other._m2
+            self._sum = other._sum
             self._min = other._min
             self._max = other._max
             return
@@ -103,6 +126,7 @@ class Tally:
         self._mean += delta * n2 / total
         self._m2 += other._m2 + delta * delta * n1 * n2 / total
         self._count = total
+        self._sum += other._sum
         self._min = min(self._min, other._min)
         self._max = max(self._max, other._max)
 

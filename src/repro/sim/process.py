@@ -142,6 +142,13 @@ class Process(Event):
             immediate.callbacks.append(self._resume)  # type: ignore[union-attr]
             self.env.schedule(immediate, priority=URGENT)
         else:
+            callbacks = next_target.callbacks
+            if callbacks is None:
+                # Triggered but defused (lazily cancelled): it will never
+                # be processed, so waiting on it would hang forever.
+                raise SimulationError(
+                    f"process {self.name!r} yielded defused event "
+                    f"{next_target!r}, which will never fire"
+                )
             self._target = next_target
-            assert next_target.callbacks is not None
-            next_target.callbacks.append(self._resume)
+            callbacks.append(self._resume)

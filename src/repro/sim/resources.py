@@ -32,7 +32,8 @@ class Request(Event):
             ... hold the resource ...
     """
 
-    __slots__ = ("resource", "requested_at", "granted_at")
+    __slots__ = ("resource", "requested_at", "granted_at", "_queued",
+                 "_cancelled")
 
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
@@ -40,6 +41,11 @@ class Request(Event):
         self.requested_at = resource.env.now
         #: Set when the claim is granted; ``None`` while still queued.
         self.granted_at: float | None = None
+        #: ``True`` while the request sits in the facility's wait queue.
+        self._queued = False
+        #: Tombstone: a cancelled entry stays in the wait deque and is
+        #: skipped when it reaches the front (lazy cancellation).
+        self._cancelled = False
 
     def __enter__(self) -> "Request":
         return self
@@ -67,8 +73,15 @@ class Resource:
         #: release (queueing/holding time per claim); ``None`` keeps the
         #: facility observability-free with zero overhead.
         self.bus = bus
-        self._users: list[Request] = []
+        #: Requests currently holding a server.  Events hash and compare
+        #: by identity, so a set gives O(1) membership on release without
+        #: any ordering cost (grant order lives in ``_waiting``, and no
+        #: code path iterates the holders).
+        self._users: set[Request] = set()
         self._waiting: deque[Request] = deque()
+        #: Tombstoned (cancelled-while-queued) entries still in
+        #: ``_waiting``; the grant loop skips them as they surface.
+        self._waiting_cancelled = 0
         # Utilisation accounting (busy integral over time).  The busy
         # fraction is normalised over the resource's own lifetime, so a
         # facility constructed at t>0 is not under-reported.
@@ -79,7 +92,7 @@ class Resource:
     def __repr__(self) -> str:
         return (
             f"<Resource {self.name!r} users={len(self._users)}"
-            f"/{self.capacity} queued={len(self._waiting)}>"
+            f"/{self.capacity} queued={self.queue_length}>"
         )
 
     @property
@@ -89,26 +102,28 @@ class Resource:
 
     @property
     def queue_length(self) -> int:
-        """Number of requests waiting for the resource."""
-        return len(self._waiting)
+        """Number of live requests waiting for the resource."""
+        return len(self._waiting) - self._waiting_cancelled
 
     def request(self) -> Request:
         """Claim the resource; the returned event fires once granted."""
         self._account()
         request = Request(self)
         if len(self._users) < self.capacity:
-            self._users.append(request)
+            self._users.add(request)
             request.granted_at = self.env.now
             request.succeed()
         else:
+            request._queued = True
             self._waiting.append(request)
         return request
 
     def release(self, request: Request) -> None:
         """Give up a granted (or cancel a still-queued) request."""
         self._account()
-        if request in self._users:
-            self._users.remove(request)
+        users = self._users
+        if request in users:
+            users.discard(request)
             if (
                 self.bus is not None
                 and request.granted_at is not None
@@ -124,19 +139,43 @@ class Resource:
                         hold_seconds=self.env.now - request.granted_at,
                     )
                 )
-            while self._waiting and len(self._users) < self.capacity:
-                nxt = self._waiting.popleft()
-                self._users.append(nxt)
+            waiting = self._waiting
+            while waiting and len(users) < self.capacity:
+                nxt = waiting.popleft()
+                if nxt._cancelled:
+                    self._waiting_cancelled -= 1
+                    continue
+                nxt._queued = False
+                users.add(nxt)
                 nxt.granted_at = self.env.now
                 nxt.succeed()
-        else:
+        elif request._queued:
             # Cancelling a queued request is legal (e.g. an interrupted
-            # process backing out); releasing twice is not an error either,
-            # so the context-manager form stays exception safe.
-            try:
-                self._waiting.remove(request)
-            except ValueError:
-                pass
+            # process backing out).  The entry stays in the deque as a
+            # tombstone — O(1) instead of an O(n) scan — and the grant
+            # loop drops it when it reaches the front.
+            request._queued = False
+            request._cancelled = True
+            self._waiting_cancelled += 1
+            if (
+                self._waiting_cancelled > 16
+                and self._waiting_cancelled * 2 > len(self._waiting)
+            ):
+                self._compact_waiting()
+        # Releasing twice is not an error, so the context-manager form
+        # stays exception safe.
+
+    def _compact_waiting(self) -> None:
+        """Drop tombstones once they dominate the wait queue.
+
+        Amortised O(1) per cancellation: compaction is linear but runs
+        only after tombstones outnumber live entries, so each tombstone
+        is walked a bounded number of times before it is reclaimed.
+        """
+        self._waiting = deque(
+            request for request in self._waiting if not request._cancelled
+        )
+        self._waiting_cancelled = 0
 
     def utilization(self) -> float:
         """Fraction of the resource's lifetime at least one server was busy.
@@ -164,13 +203,17 @@ class StoreGet(Event):
     ``requeued`` marks a get whose event fired but whose item was
     returned to the buffer because the waiting process abandoned it
     (see :meth:`Store.cancel`); it guards against double re-queueing.
+    ``cancelled`` tombstones a get withdrawn while still queued: the
+    entry stays in the getter deque and ``put`` skips it when it
+    reaches the front (lazy cancellation).
     """
 
-    __slots__ = ("requeued",)
+    __slots__ = ("requeued", "cancelled")
 
     def __init__(self, env: "Environment") -> None:
         super().__init__(env)
         self.requeued = False
+        self.cancelled = False
 
 
 class Store:
@@ -185,22 +228,29 @@ class Store:
         self.name = name
         self._items: deque[t.Any] = deque()
         self._getters: deque[StoreGet] = deque()
+        #: Tombstoned (cancelled) entries still in ``_getters``.
+        self._getters_cancelled = 0
 
     def __repr__(self) -> str:
         return (
             f"<Store {self.name!r} items={len(self._items)}"
-            f" waiting={len(self._getters)}>"
+            f" waiting={len(self._getters) - self._getters_cancelled}>"
         )
 
     def __len__(self) -> int:
         return len(self._items)
 
     def put(self, item: t.Any) -> None:
-        """Deposit ``item``, waking the oldest waiting getter if any."""
-        if self._getters:
-            self._getters.popleft().succeed(item)
-        else:
-            self._items.append(item)
+        """Deposit ``item``, waking the oldest live waiting getter if any."""
+        getters = self._getters
+        while getters:
+            getter = getters.popleft()
+            if getter.cancelled:
+                self._getters_cancelled -= 1
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
 
     def get(self) -> StoreGet:
         """Return an event that fires with the next available item."""
@@ -224,11 +274,23 @@ class Store:
         interrupt.  Only call this for a get whose value was never
         consumed.
         """
-        try:
-            self._getters.remove(event)
+        if not event.triggered:
+            # Still queued: tombstone in O(1); `put` (or compaction)
+            # reclaims the entry later.
+            if not event.cancelled:
+                event.cancelled = True
+                self._getters_cancelled += 1
+                if (
+                    self._getters_cancelled > 16
+                    and self._getters_cancelled * 2 > len(self._getters)
+                ):
+                    self._getters = deque(
+                        getter
+                        for getter in self._getters
+                        if not getter.cancelled
+                    )
+                    self._getters_cancelled = 0
             return
-        except ValueError:
-            pass
-        if event.triggered and event.ok and not event.requeued:
+        if event.ok and not event.requeued:
             event.requeued = True
             self._items.appendleft(event.value)

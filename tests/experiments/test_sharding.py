@@ -1,0 +1,118 @@
+"""Population sharding: planning, seeding and serial ≡ pooled goldens."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments.config import SimulationConfig
+from repro.experiments.parallel import (
+    RunOutcome,
+    merge_shards,
+    plan_shards,
+    run_sharded,
+)
+from repro.sim.rand import spawn_seed
+
+#: Small but non-trivial fleet: enough clients for four uneven shards,
+#: short horizon so the whole module stays in the tier-1 budget.
+FLEET_CONFIG = SimulationConfig(num_clients=10, horizon_hours=0.1)
+
+
+def fleet_fingerprint(fleet):
+    """Everything a headline report reads, as one comparable tuple."""
+    return (
+        fleet.shards,
+        fleet.num_clients,
+        fleet.hit_ratio,
+        fleet.response_time,
+        fleet.error_rate,
+        fleet.summary.total_queries,
+        fleet.events_processed,
+        fleet.requests_served,
+        fleet.raw_bytes,
+        fleet.goodput_bytes,
+        fleet.uplink_utilization,
+        fleet.downlink_utilization,
+        sorted(fleet.event_counts.items()),
+        tuple(sorted(c.client_id for c in fleet.summary.clients)),
+    )
+
+
+class TestPlanning:
+    def test_even_split(self):
+        plans = plan_shards(FLEET_CONFIG.replaced(num_clients=8), 4)
+        assert [plan.config.num_clients for plan in plans] == [2, 2, 2, 2]
+        assert [plan.client_base for plan in plans] == [0, 2, 4, 6]
+
+    def test_uneven_split_front_loads_remainder(self):
+        plans = plan_shards(FLEET_CONFIG, 4)
+        assert [plan.config.num_clients for plan in plans] == [3, 3, 2, 2]
+        assert [plan.client_base for plan in plans] == [0, 3, 6, 8]
+        assert sum(plan.config.num_clients for plan in plans) == 10
+
+    def test_shard_seeds_ride_spawn_hierarchy(self):
+        plans = plan_shards(FLEET_CONFIG, 3)
+        seeds = [plan.config.seed for plan in plans]
+        assert seeds == [
+            spawn_seed(FLEET_CONFIG.seed, f"shard:{i}/3") for i in range(3)
+        ]
+        assert len(set(seeds)) == 3
+        # Only num_clients and seed change; every workload parameter is
+        # shared, so cells model the same population.
+        for plan in plans:
+            assert plan.config.replaced(
+                num_clients=FLEET_CONFIG.num_clients,
+                seed=FLEET_CONFIG.seed,
+            ) == FLEET_CONFIG
+
+    def test_rejects_degenerate_splits(self):
+        with pytest.raises(SimulationError):
+            plan_shards(FLEET_CONFIG, 0)
+        with pytest.raises(SimulationError):
+            plan_shards(FLEET_CONFIG, 11)
+
+    def test_single_shard_keeps_population_but_reseeds(self):
+        (plan,) = plan_shards(FLEET_CONFIG, 1)
+        assert plan.config.num_clients == 10
+        assert plan.config.seed == spawn_seed(FLEET_CONFIG.seed, "shard:0/1")
+
+
+class TestShardedExecution:
+    def test_serial_equals_pooled(self):
+        """The tentpole golden: worker count never changes a byte."""
+        serial = run_sharded(FLEET_CONFIG, shards=4, jobs=1)
+        pooled = run_sharded(FLEET_CONFIG, shards=4, jobs=4)
+        assert fleet_fingerprint(serial) == fleet_fingerprint(pooled)
+
+    def test_client_ids_relabelled_globally(self):
+        fleet = run_sharded(FLEET_CONFIG, shards=4, jobs=1)
+        assert sorted(c.client_id for c in fleet.summary.clients) == list(
+            range(10)
+        )
+
+    def test_fleet_totals_are_shard_sums(self):
+        fleet = run_sharded(FLEET_CONFIG, shards=2, jobs=1)
+        assert fleet.events_processed == sum(
+            result.events_processed for result in fleet.per_shard
+        )
+        assert fleet.summary.total_queries == sum(
+            result.summary.total_queries for result in fleet.per_shard
+        )
+        assert fleet.raw_bytes == sum(
+            result.raw_bytes for result in fleet.per_shard
+        )
+        assert fleet.events_processed > 0
+        assert fleet.summary.total_queries > 0
+
+    def test_failed_shard_aborts_merge(self):
+        plans = plan_shards(FLEET_CONFIG, 2)
+        outcomes = [
+            RunOutcome(
+                index=0,
+                dims={"shard": 0},
+                label=plans[0].config.label(),
+                elapsed_seconds=0.0,
+                error="Traceback: boom",
+            ),
+        ]
+        with pytest.raises(SimulationError, match="boom"):
+            merge_shards(plans[:1], outcomes, FLEET_CONFIG)

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.errors import SchedulingError, SimulationError
-from repro.sim import Environment
+from repro.sim import Environment, Interrupt
+from repro.sim.events import URGENT
 
 
 def test_clock_starts_at_zero():
@@ -121,3 +122,195 @@ def test_run_until_event_already_processed():
     proc = env.process(worker(env))
     env.run()
     assert env.run(until=proc) == 5
+
+
+# -- run(until=<time>) horizon semantics --------------------------------
+#
+# The internal stopper is scheduled at priority -1 and therefore
+# preempts even URGENT (priority 0) events at exactly the horizon: the
+# measured window is the half-open interval [start, until).  These pins
+# make that contract explicit — anything scheduled for *exactly* the
+# horizon instant, interrupts included, is never delivered.
+
+
+def test_timeout_exactly_at_horizon_does_not_fire():
+    env = Environment()
+    fired = []
+
+    def worker(env):
+        yield env.timeout(10.0)
+        fired.append(env.now)
+
+    env.process(worker(env))
+    env.run(until=10.0)
+    assert fired == []
+    assert env.now == 10.0
+    # The event is still pending; a later run delivers it.
+    env.run()
+    assert fired == [10.0]
+
+
+def test_timeout_strictly_before_horizon_fires():
+    env = Environment()
+    fired = []
+
+    def worker(env):
+        yield env.timeout(10.0 - 1e-9)
+        fired.append(env.now)
+
+    env.process(worker(env))
+    env.run(until=10.0)
+    assert fired == [10.0 - 1e-9]
+
+
+def test_interrupt_at_horizon_is_not_delivered():
+    # Interrupts are URGENT (priority 0); the stopper at priority -1
+    # still wins the horizon instant, so an interrupt thrown at exactly
+    # the horizon is silently deferred past the run.
+    env = Environment()
+    caught = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            caught.append((env.now, interrupt.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(10.0)
+        victim.interrupt("at-horizon")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run(until=10.0)
+    assert caught == []
+    # The interruption is queued, not lost: resuming delivers it.
+    env.run()
+    assert caught == [(10.0, "at-horizon")]
+
+
+def test_urgent_event_at_horizon_is_not_delivered():
+    env = Environment()
+    seen = []
+    event = env.event()
+    event.callbacks.append(lambda e: seen.append(env.now))
+    event._ok = True
+    event._value = None
+    env.schedule(event, delay=10.0, priority=URGENT)
+    env.run(until=10.0)
+    assert seen == []
+    env.run()
+    assert seen == [10.0]
+
+
+# -- lazy cancellation --------------------------------------------------
+
+
+def test_cancel_skips_event_at_pop_time():
+    env = Environment()
+    fired = []
+    keep = env.timeout(5.0, value="keep")
+    keep.callbacks.append(lambda e: fired.append(e.value))
+    drop = env.timeout(5.0, value="drop")
+    drop.callbacks.append(lambda e: fired.append(e.value))
+    env.cancel(drop)
+    assert drop.defused
+    assert not drop.processed
+    env.run()
+    assert fired == ["keep"]
+    assert env.now == 5.0
+
+
+def test_cancel_is_idempotent_and_validated():
+    env = Environment()
+    pending = env.event()
+    with pytest.raises(SchedulingError):
+        env.cancel(pending)  # never triggered: holds no queue entry
+    timeout = env.timeout(1.0)
+    env.cancel(timeout)
+    env.cancel(timeout)  # second cancel is a no-op, now and forever
+    done = env.timeout(0.5)
+    env.run()
+    env.cancel(timeout)  # still a no-op after the run
+    with pytest.raises(SchedulingError):
+        env.cancel(done)  # processed: no queue entry left to skip
+
+
+def test_cancelled_run_until_target_is_rejected():
+    env = Environment()
+    timeout = env.timeout(1.0)
+    env.cancel(timeout)
+    with pytest.raises(SchedulingError):
+        env.run(until=timeout)
+
+
+def test_yielding_defused_event_raises():
+    env = Environment()
+    lost = env.timeout(1.0)
+    env.cancel(lost)
+
+    def waiter(env):
+        yield lost
+
+    env.process(waiter(env))
+    with pytest.raises(SimulationError, match="defused"):
+        env.run()
+
+
+def test_cancelled_events_leave_clock_and_peek_clean():
+    env = Environment()
+    early = env.timeout(1.0)
+    late = env.timeout(2.0)
+    late.callbacks.append(lambda e: None)
+    env.cancel(early)
+    assert env.peek() == 2.0  # defused head purged, clock untouched
+    assert env.now == 0.0
+    env.step()
+    assert env.now == 2.0
+    assert env.peek() == float("inf")
+
+
+def test_events_processed_counts_only_live_events():
+    env = Environment()
+    for __ in range(3):
+        env.timeout(1.0)
+    dropped = env.timeout(1.0)
+    env.cancel(dropped)
+    env.run()
+    assert env.events_processed == 3
+
+
+def test_same_instant_cascades_preserve_seeded_order():
+    # Zero-delay events go through the imminent buckets; interleave them
+    # with heap-scheduled events at the same instant and assert the
+    # one-heap (time, priority, insertion) order is reproduced exactly.
+    env = Environment()
+    order = []
+
+    def note(tag):
+        def callback(event):
+            order.append(tag)
+
+        return callback
+
+    def kickoff(env):
+        yield env.timeout(1.0)
+        # Now at t=1: mix zero-delay NORMAL/URGENT with pre-scheduled.
+        a = env.event()
+        a._ok, a._value = True, None
+        a.callbacks.append(note("zero-normal"))
+        env.schedule(a, delay=0.0)
+        b = env.event()
+        b._ok, b._value = True, None
+        b.callbacks.append(note("zero-urgent"))
+        env.schedule(b, delay=0.0, priority=URGENT)
+
+    env.process(kickoff(env))
+    ahead = env.timeout(1.0, value=None)
+    ahead.callbacks.append(note("heap-normal"))
+    env.run()
+    # The kickoff process resumes first (its Initialize is URGENT at
+    # t=0); at t=1 the heap-scheduled timeout (seq earlier) fires before
+    # the process's turn creates the zero-delay pair, and the URGENT
+    # zero-delay event overtakes the NORMAL one.
+    assert order == ["heap-normal", "zero-urgent", "zero-normal"]

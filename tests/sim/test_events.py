@@ -153,3 +153,62 @@ def test_all_of_with_already_processed_events():
     env.process(waiter(env))
     env.run()
     assert done == [[1, 2]]
+
+
+# -- composite detach (dead-callback leak regression) -------------------
+#
+# Once a composite triggers, its losing children must not keep the
+# composite's collector callback: a long-lived loser would otherwise pin
+# the composite (and everything its value dict references) for its whole
+# lifetime, and firing it later would invoke a dead collector.  Losing
+# bare Timeouts are additionally defused so the kernel never pays to pop
+# them at all.
+
+
+def test_any_of_detaches_loser_callbacks():
+    env = Environment()
+    winner = env.timeout(1.0, value="fast")
+    loser = env.event()
+    combo = env.any_of([winner, loser])
+    assert len(loser.callbacks) == 1
+    env.run()
+    assert combo.processed
+    assert loser.callbacks == []  # collector detached, event reusable
+
+
+def test_any_of_defuses_losing_timeout():
+    env = Environment()
+    winner = env.timeout(1.0, value="fast")
+    loser = env.timeout(500.0, value="slow")
+    env.any_of([winner, loser])
+    env.run()
+    # The losing timeout was cancelled lazily: the run ends at t=1
+    # instead of idling until t=500 to pop a dead entry.
+    assert env.now == 1.0
+    assert loser.defused
+
+
+def test_any_of_does_not_defuse_shared_timeout():
+    env = Environment()
+    seen = []
+    winner = env.timeout(1.0, value="fast")
+    shared = env.timeout(2.0, value="slow")
+    shared.callbacks.append(lambda event: seen.append(event.value))
+    env.any_of([winner, shared])
+    env.run()
+    # Someone else still listens to the loser: it must fire normally.
+    assert seen == ["slow"]
+    assert env.now == 2.0
+
+
+def test_all_of_early_failure_detaches_survivors():
+    env = Environment()
+    failing = env.event()
+    straggler = env.timeout(500.0, value="late")
+    combo = env.all_of([failing, straggler])
+    combo.callbacks.append(lambda event: None)  # observe, defuse the error
+    failing.fail(RuntimeError("boom"))
+    env.run()
+    assert combo.triggered and not combo.ok
+    assert straggler.defused  # composite already failed; don't wait
+    assert env.now == 0.0

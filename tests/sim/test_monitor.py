@@ -6,6 +6,8 @@ import statistics
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.errors import StatisticsError
+from repro.experiments.scenarios.stats import replication_ci
 from repro.sim import RatioCounter, Tally, TimeWeighted, summarize
 
 
@@ -75,8 +77,45 @@ def test_confidence_interval_contains_mean():
 
 
 def test_confidence_interval_level_validation():
-    with pytest.raises(ValueError):
-        summarize([1.0, 2.0]).confidence_interval(0.5)
+    # Any level strictly inside (0, 1) is legal under the Student-t
+    # implementation; the boundary and beyond raise a clear error.
+    for bad in (0.0, 1.0, -0.5, 1.5):
+        with pytest.raises(StatisticsError):
+            summarize([1.0, 2.0]).confidence_interval(bad)
+
+
+def test_confidence_interval_arbitrary_levels():
+    tally = summarize([10.0, 12.0, 9.0, 11.0, 10.5])
+    # 0.5 used to raise a bare KeyError; now every level in (0, 1) works
+    # and widths are monotone in the level.
+    previous = 0.0
+    for level in (0.5, 0.90, 0.95, 0.99, 0.999):
+        low, high = tally.confidence_interval(level)
+        assert low <= tally.mean <= high
+        assert (high - low) > previous
+        previous = high - low
+
+
+def test_confidence_interval_matches_t_machinery():
+    samples = [10.0, 12.0, 9.0, 11.0, 10.5, 13.0]
+    tally = summarize(samples)
+    low, high = tally.confidence_interval(0.95)
+    expected = replication_ci(samples, 0.95)
+    assert low == pytest.approx(expected.low)
+    assert high == pytest.approx(expected.high)
+
+
+def test_total_is_exact_running_sum():
+    # mean * count drifts: each record rounds the mean, and the product
+    # re-amplifies that error by the count.  The tracked sum is exactly
+    # the naive accumulation.
+    tally = Tally()
+    expected = 0.0
+    for index in range(200_001):
+        value = 0.1 + (index % 7) * 1e-9
+        tally.record(value)
+        expected += value
+    assert tally.total == expected
 
 
 def test_confidence_interval_degenerate():
