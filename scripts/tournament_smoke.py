@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""CI smoke check for the Experiment #8 policy tournament.
+
+Two stages, both cheap enough for CI:
+
+1. **Admission wiring** — a synthetic churn loop over a byte-budget
+   cache under the sketch-gated policy must produce admission denials,
+   emit a ``CacheReject`` per denial, and keep the cache/policy ledgers
+   in sync.  This exercises the one code path a short-horizon run
+   cannot (rejections only happen under replacement pressure).
+2. **Tournament envelope** — the registered ``tournament`` scenario at
+   a tiny horizon with a single replication: every {policy} x {heat}
+   cell must produce a well-formed record with finite means and zero
+   protocol-invariant violations.
+
+Usage::
+
+    PYTHONPATH=src python scripts/tournament_smoke.py [--hours H]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+
+def check_admission_wiring() -> None:
+    from repro.core.replacement import create_policy
+    from repro.core.storage_cache import ClientStorageCache
+    from repro.obs.bus import EventBus
+    from repro.obs.events import CacheReject
+    from repro.oodb.objects import OID
+
+    rejects: list = []
+    bus = EventBus()
+    bus.subscribe(CacheReject, rejects.append)
+    cache = ClientStorageCache(
+        1_000, create_policy("cmslru"), bus=bus, client_id=0
+    )
+    clock = 0.0
+    hot = (OID("Root", 0), None)
+    cache.admit(hot, 0, 0, 100, now=clock, expires_at=float("inf"))
+    for n in range(1, 200):
+        clock += 1.0
+        cache.admit(
+            (OID("Root", n), None), n, 0, 100,
+            now=clock, expires_at=float("inf"),
+        )
+        if hot in cache:
+            cache.touch(hot, clock + 0.5)
+        cache.check_invariants()
+    assert cache.rejections > 0, "churn produced no admission denials"
+    assert len(rejects) == cache.rejections, (
+        f"{len(rejects)} CacheReject events but cache counted "
+        f"{cache.rejections} rejections"
+    )
+    assert hot in cache, "hot key lost despite admission filtering"
+    print(
+        f"admission wiring: {cache.rejections} denials, "
+        f"{len(rejects)} CacheReject events, ledgers in sync"
+    )
+
+
+def check_tournament_envelope(hours: float) -> None:
+    from repro.experiments.scenarios import (
+        METRICS,
+        get_scenario,
+        run_scenario,
+    )
+
+    scenario = get_scenario("tournament")
+    result = run_scenario(
+        scenario,
+        replications=1,
+        horizon_hours=hours,
+        # The registered scenario discards 40% of its 4 h horizon (the
+        # cold-fill phase); at smoke scale that window would be empty.
+        warmup_fraction=0.1,
+        invariants=True,
+        progress=True,
+    )
+    envelope = result.envelope()
+    rehydrated = json.loads(json.dumps(envelope))
+    assert rehydrated == envelope, "envelope is not JSON-stable"
+
+    metadata = envelope["metadata"]
+    assert not envelope["failures"], envelope["failures"]
+    assert metadata["cells"] == len(envelope["records"])
+
+    policies = {r["policy"] for r in envelope["records"]}
+    heats = {r["heat"] for r in envelope["records"]}
+    assert len(policies) == 10, f"expected 10 policies, got {policies}"
+    assert heats == {"cyclic", "scan", "zipf", "hotspot"}, heats
+
+    for record in envelope["records"]:
+        for metric in METRICS:
+            value = record[metric]
+            assert isinstance(value, float) and math.isfinite(value), (
+                metric, record,
+            )
+        assert record["invariant_violations"] == 0, record
+
+    print(
+        f"tournament: {metadata['cells']} cells at {hours:g} h — "
+        f"envelope well-formed, 0 invariant violations"
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--hours",
+        type=float,
+        default=1.0,
+        help="simulated horizon per cell (default: 1.0)",
+    )
+    args = parser.parse_args(argv)
+    check_admission_wiring()
+    check_tournament_envelope(args.hours)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

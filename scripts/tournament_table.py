@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Render the Experiment #8 tournament envelope as a plain-text table.
+
+Reads the JSON envelope produced by ``scenario run tournament --out``
+and prints one block per workload: policies ranked by mean cache hit
+ratio, each row carrying the 95% CI half-width and the response-time
+mean.  Modern (admission-aware) policies are tagged so the 1998-vs-now
+comparison is legible at a glance.
+
+Usage::
+
+    PYTHONPATH=src python scripts/tournament_table.py \
+        results/tournament.json > results/tournament.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Policies that post-date the paper; everything else is a 1998 scheme.
+MODERN = {"tinylfu-10", "tinylfu-adaptive", "cmslru", "lrfu-0.001"}
+
+HEAT_ORDER = ["cyclic", "scan", "zipf", "hotspot"]
+
+
+def render(envelope: dict) -> str:
+    metadata = envelope["metadata"]
+    records = envelope["records"]
+    lines = [
+        "Experiment #8 — replacement-policy tournament",
+        f"horizon: {metadata['horizon_hours']:g} h, "
+        f"replications: {metadata['replications']}, "
+        f"warm-up fraction: {metadata['warmup_fraction']:g}, "
+        f"base seed: {metadata['base_seed']}",
+        "hit ratio is mean +/- 95% CI half-width across replications;"
+        " response time in seconds.",
+        "",
+    ]
+    for heat in HEAT_ORDER:
+        rows = [r for r in records if r["heat"] == heat]
+        if not rows:
+            continue
+        rows.sort(key=lambda r: r["hit_ratio"], reverse=True)
+        lines.append(f"== {heat} ==")
+        lines.append(
+            f"{'rank':>4}  {'policy':<18} {'era':<6} "
+            f"{'hit ratio':>18}  {'response (s)':>18}"
+        )
+        for rank, r in enumerate(rows, start=1):
+            era = "new" if r["policy"] in MODERN else "1998"
+            hit = (
+                f"{r['hit_ratio']:.4f} "
+                f"+/- {r['hit_ratio_half_width']:.4f}"
+            )
+            resp = (
+                f"{r['response_time']:.3f} "
+                f"+/- {r['response_time_half_width']:.3f}"
+            )
+            lines.append(
+                f"{rank:>4}  {r['policy']:<18} {era:<6} "
+                f"{hit:>18}  {resp:>18}"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("envelope", help="tournament JSON envelope path")
+    args = parser.parse_args(argv)
+    with open(args.envelope, encoding="utf-8") as handle:
+        envelope = json.load(handle)
+    print(render(envelope))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

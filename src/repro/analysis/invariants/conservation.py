@@ -13,7 +13,10 @@ that produces the paper's Figures 4-11:
   aborts than the channel saw.
 * **CON003** — cache occupancy: ``admits - evicts - invalidations``
   equals occupancy, which never goes negative nor exceeds the cache's
-  byte budget at any step.
+  byte budget at any step.  Admission rejections stay *out* of the
+  ledger: a ``CacheReject`` must target a non-resident key and must not
+  move occupancy (and a ``CacheAdmit`` must not target a resident one —
+  in-place refreshes emit ``CacheRefresh``).
 * **CON004** — query conservation: per client, query ids complete
   exactly once in issue order, and every degraded query still reaches
   its completion.
@@ -42,6 +45,7 @@ from repro.obs.events import (
     CacheAdmit,
     CacheEvict,
     CacheInvalidate,
+    CacheReject,
     FaultEvent,
     QueryComplete,
     QueryDegraded,
@@ -255,7 +259,9 @@ class _CacheState:
     admits: int = 0
     evicts: int = 0
     invalidations: int = 0
+    rejections: int = 0
     over_capacity_reported: bool = False
+    resident: "set[object]" = dataclasses.field(default_factory=set)
 
 
 class CacheConservationChecker(InvariantChecker):
@@ -263,7 +269,7 @@ class CacheConservationChecker(InvariantChecker):
 
     checker_id = "CON-cache"
     title = "cache occupancy ledger: admits - evicts = occupancy <= capacity"
-    event_types = (CacheAdmit, CacheEvict, CacheInvalidate)
+    event_types = (CacheAdmit, CacheEvict, CacheInvalidate, CacheReject)
 
     def __init__(self) -> None:
         super().__init__()
@@ -280,9 +286,32 @@ class CacheConservationChecker(InvariantChecker):
     def on_event(self, event: SimEvent) -> None:
         state = self._cache(event.client_id, event.cache)  # type: ignore[attr-defined]
         scope = f"client-{event.client_id}/{event.cache}"  # type: ignore[attr-defined]
+        if isinstance(event, CacheReject):
+            # A denied admission must not move the ledger, and denial
+            # only makes sense for a key that is not already resident
+            # (a resident key takes the refresh path instead).
+            state.rejections += 1
+            if event.key in state.resident:
+                self.violation(
+                    "CON003",
+                    event.time,
+                    scope,
+                    f"admission of resident key {event.key!r} was "
+                    "rejected: resident keys must refresh in place",
+                )
+            return
         if isinstance(event, CacheAdmit):
             state.admits += 1
             state.occupancy += event.size_bytes
+            if event.key in state.resident:
+                self.violation(
+                    "CON003",
+                    event.time,
+                    scope,
+                    f"admit of already-resident key {event.key!r}: "
+                    "in-place refreshes must emit CacheRefresh",
+                )
+            state.resident.add(event.key)
             if event.capacity_bytes > 0:
                 state.capacity = event.capacity_bytes
             if (
@@ -303,6 +332,7 @@ class CacheConservationChecker(InvariantChecker):
             state.evicts += 1
         else:
             state.invalidations += 1
+        state.resident.discard(event.key)  # type: ignore[attr-defined]
         state.occupancy -= event.size_bytes  # type: ignore[attr-defined]
         if state.occupancy < 0:
             self.violation(
@@ -343,6 +373,14 @@ class CacheConservationChecker(InvariantChecker):
                     scope,
                     f"evicts from events ({state.evicts}) != cache "
                     f"eviction count ({cache.evictions})",
+                )
+            if state.rejections != cache.rejections:
+                self.violation(
+                    "CON007",
+                    0.0,
+                    scope,
+                    f"rejections from events ({state.rejections}) != "
+                    f"cache rejection count ({cache.rejections})",
                 )
 
 

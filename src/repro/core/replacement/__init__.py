@@ -19,6 +19,7 @@ from repro.core.replacement.base import (
     register_policy,
 )
 from repro.core.replacement.clock import ClockPolicy, FIFOPolicy
+from repro.core.replacement.cms_lru import CMSAdmissionLRUPolicy
 from repro.core.replacement.duration import (
     DurationScoredPolicy,
     EWMAPolicy,
@@ -26,22 +27,29 @@ from repro.core.replacement.duration import (
     WindowPolicy,
 )
 from repro.core.replacement.lrd import LRDPolicy
+from repro.core.replacement.lrfu import LRFUPolicy
 from repro.core.replacement.lru import LRUPolicy
 from repro.core.replacement.lru_k import LRUKPolicy
 from repro.core.replacement.random_policy import RandomPolicy
+from repro.core.replacement.sketch import CountMinSketch
+from repro.core.replacement.tinylfu import WTinyLFUPolicy
 
 __all__ = [
+    "CMSAdmissionLRUPolicy",
     "ClockPolicy",
+    "CountMinSketch",
     "DurationScoredPolicy",
     "EWMAPolicy",
     "FIFOPolicy",
     "LRDPolicy",
+    "LRFUPolicy",
     "LRUKPolicy",
     "LRUPolicy",
     "LazyScoreHeap",
     "MeanPolicy",
     "RandomPolicy",
     "ReplacementPolicy",
+    "WTinyLFUPolicy",
     "WindowPolicy",
     "available_policies",
     "create_policy",

@@ -11,15 +11,26 @@ victims.  The storage cache drives it through four notifications::
 ``evict`` both selects and forgets the victim so policies can use lazy
 heaps internally without dangling bookkeeping.
 
+Admission-aware policies additionally implement ``should_admit(key,
+now)``: the cache consults it *only* for inserts that would force at
+least one eviction (inserts into free space are always admitted — an
+admission filter exists to protect resident state under replacement
+pressure, not to keep a half-empty cache empty).  The default accepts
+everything, so the paper's six policies are provably untouched by the
+framework.  Segmented policies (W-TinyLFU's window/probation/protected)
+expose their internal placement through ``segment_of(key)``.
+
 Policies are registered by name and instantiated from compact spec
-strings — ``"lru"``, ``"lru-3"``, ``"ewma-0.5"``, ``"window-10"`` — which
-is also how experiment configs and the CLI refer to them.
+strings — ``"lru"``, ``"lru-3"``, ``"ewma-0.5"``, ``"window-10"``,
+``"tinylfu-adaptive"`` — which is also how experiment configs and the
+CLI refer to them.
 """
 
 from __future__ import annotations
 
 import abc
 import heapq
+import math
 import typing as t
 
 from repro.core.granularity import CacheKey
@@ -59,6 +70,29 @@ class ReplacementPolicy(abc.ABC):
 
     @abc.abstractmethod
     def __len__(self) -> int: ...
+
+    def should_admit(self, key: CacheKey, now: float) -> bool:
+        """Whether a *new* key may displace resident state.
+
+        Consulted by the storage cache only when inserting ``key`` would
+        force at least one eviction; a ``False`` return denies the
+        insert (the cache emits :class:`~repro.obs.events.CacheReject`)
+        and the resident set stays untouched.  Policies that maintain a
+        frequency sketch should record the attempt here so repeatedly
+        requested keys eventually pass the filter.  The default admits
+        everything — the six paper policies are byte-identical to their
+        pre-framework behaviour.
+        """
+        return True
+
+    def segment_of(self, key: CacheKey) -> str | None:
+        """Name of the internal segment holding ``key``.
+
+        ``None`` for unsegmented policies (the default) and for
+        non-resident keys; segmented policies (W-TinyLFU) return
+        ``"window"``, ``"probation"`` or ``"protected"``.
+        """
+        return None
 
     def describe(self) -> str:
         """Human-readable label used in reports."""
@@ -147,17 +181,22 @@ class LazyScoreHeap:
 # Registry
 # ----------------------------------------------------------------------
 PolicyFactory = t.Callable[..., ReplacementPolicy]
-_REGISTRY: dict[str, PolicyFactory] = {}
+#: name -> (factory, raw_parameter): raw factories receive the spec's
+#: parameter text verbatim (e.g. ``tinylfu-adaptive``) and validate it
+#: themselves; numeric factories get a parsed, finite number.
+_REGISTRY: dict[str, tuple[PolicyFactory, bool]] = {}
 
 
-def register_policy(name: str) -> t.Callable[[PolicyFactory], PolicyFactory]:
+def register_policy(
+    name: str, *, raw_parameter: bool = False
+) -> t.Callable[[PolicyFactory], PolicyFactory]:
     """Class decorator adding a policy to the spec-string registry."""
 
     def decorator(factory: PolicyFactory) -> PolicyFactory:
         lowered = name.lower()
         if lowered in _REGISTRY:
             raise ReplacementError(f"policy {name!r} registered twice")
-        _REGISTRY[lowered] = factory
+        _REGISTRY[lowered] = (factory, raw_parameter)
         return factory
 
     return decorator
@@ -173,20 +212,29 @@ def create_policy(spec: str) -> ReplacementPolicy:
 
     The spec is ``name`` or ``name-parameter``: ``"lru"``, ``"lru-3"``,
     ``"lrd"``, ``"mean"``, ``"window-10"``, ``"ewma-0.5"``, ``"clock"``,
-    ``"fifo"``, ``"random"``.
+    ``"fifo"``, ``"random"``, ``"tinylfu-10"``, ``"tinylfu-adaptive"``,
+    ``"cmslru"``, ``"lrfu-0.001"``.
     """
     spec = spec.strip().lower()
     if not spec:
         raise ReplacementError("empty policy spec")
     name, sep, parameter = spec.partition("-")
-    factory = _REGISTRY.get(name)
-    if factory is None:
+    entry = _REGISTRY.get(name)
+    if entry is None:
         raise ReplacementError(
             f"unknown policy {name!r}; available: {available_policies()}"
         )
+    factory, raw_parameter = entry
     if not sep:
         return factory()
+    if not parameter:
+        raise ReplacementError(
+            f"malformed policy spec {spec!r}: dangling '-' with no "
+            f"parameter (use {name!r} for the default)"
+        )
     try:
+        if raw_parameter:
+            return factory(parameter)
         return factory(_parse_number(parameter))
     except (TypeError, ValueError) as exc:
         raise ReplacementError(
@@ -196,4 +244,6 @@ def create_policy(spec: str) -> ReplacementPolicy:
 
 def _parse_number(text: str) -> float | int:
     value = float(text)
+    if not math.isfinite(value):
+        raise ValueError(f"parameter must be finite, got {text!r}")
     return int(value) if value.is_integer() else value

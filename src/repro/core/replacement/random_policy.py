@@ -17,6 +17,10 @@ class RandomPolicy(ReplacementPolicy):
     name = "random"
 
     def __init__(self, seed: int = 0) -> None:
+        if seed != int(seed):
+            raise ValueError(f"seed must be an integer, got {seed!r}")
+        if int(seed) < 0:
+            raise ValueError(f"seed must be >= 0, got {seed!r}")
         self._rng = RandomStream(int(seed), label="random-replacement")
         self._keys: list[CacheKey] = []
         self._positions: dict[CacheKey, int] = {}

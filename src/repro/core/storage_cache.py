@@ -20,6 +20,7 @@ from repro.obs.events import (
     CacheEvict,
     CacheInvalidate,
     CacheRefresh,
+    CacheReject,
 )
 
 
@@ -47,6 +48,7 @@ class ClientStorageCache:
         self.used_bytes = 0
         self.admissions = 0
         self.evictions = 0
+        self.rejections = 0
 
     def __repr__(self) -> str:
         return (
@@ -85,6 +87,12 @@ class ClientStorageCache:
         Refreshing a resident key updates its value/version/deadline in
         place and counts as an access.  Items larger than the whole cache
         are rejected — a caller bug, not an eviction storm.
+
+        When the insert would force an eviction, the policy's
+        :meth:`~repro.core.replacement.base.ReplacementPolicy.should_admit`
+        hook is consulted first; a denial leaves the cache untouched
+        (no victim, no insert) and returns ``[]`` after emitting a
+        guarded :class:`CacheReject`.
         """
         existing = self._entries.get(key)
         if existing is not None:
@@ -106,6 +114,20 @@ class ClientStorageCache:
                 f"item {key!r} ({size_bytes}B) exceeds cache capacity "
                 f"({self.capacity_bytes}B)"
             )
+        if self.used_bytes + size_bytes > self.capacity_bytes:
+            if not self.policy.should_admit(key, now):
+                self.rejections += 1
+                if self.bus.wants(CacheReject):
+                    self.bus.emit(
+                        CacheReject(
+                            time=now,
+                            client_id=self.client_id,
+                            cache=self.name,
+                            key=key,
+                            size_bytes=size_bytes,
+                        )
+                    )
+                return []
         evicted: list[CacheKey] = []
         trace_evicts = self.bus.wants(CacheEvict)
         while self.used_bytes + size_bytes > self.capacity_bytes:
@@ -152,11 +174,14 @@ class ClientStorageCache:
             )
         return evicted
 
-    def invalidate(self, key: CacheKey, now: float = 0.0) -> bool:
+    def invalidate(self, key: CacheKey, now: float) -> bool:
         """Drop ``key`` if resident; return whether it was.
 
-        ``now`` only stamps the guarded :class:`CacheInvalidate` event;
-        it plays no role in the drop itself.
+        ``now`` is the caller's simulation clock.  It stamps the
+        guarded :class:`CacheInvalidate` event and keeps trace
+        timestamps monotone — a defaulted ``now=0.0`` here used to
+        rewind score-based policies' event timelines, so the clock is
+        now required.
         """
         entry = self._entries.pop(key, None)
         if entry is None:
@@ -175,7 +200,7 @@ class ClientStorageCache:
             )
         return True
 
-    def clear(self, now: float = 0.0) -> None:
+    def clear(self, now: float) -> None:
         """Drop everything (used when a client's cache is reset)."""
         for key in list(self._entries):
             self.invalidate(key, now)

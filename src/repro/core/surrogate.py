@@ -126,9 +126,10 @@ class LocalDatabase:
             return values.get(attribute)
         return entry.value
 
-    def forget(self, oid: OID) -> int:
+    def forget(self, oid: OID, now: float) -> int:
         """Drop a surrogate and every cached item belonging to it.
 
+        ``now`` stamps the invalidation events with the caller's clock.
         Returns the number of cache entries invalidated.
         """
         self._surrogates.pop(oid, None)
@@ -137,6 +138,6 @@ class LocalDatabase:
         # invalidation is independent, so removal order is immaterial.
         for key in self.cache.keys():  # repro: noqa REP003
             if key[0] == oid:
-                self.cache.invalidate(key)
+                self.cache.invalidate(key, now)
                 dropped += 1
         return dropped

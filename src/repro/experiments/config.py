@@ -15,7 +15,9 @@ from repro._units import HOUR, KBPS, MBPS
 from repro.errors import ConfigurationError
 
 #: Heat pattern labels accepted by :attr:`SimulationConfig.heat`.
-HEAT_PATTERNS = ("SH", "CSH", "cyclic", "uniform")
+HEAT_PATTERNS = (
+    "SH", "CSH", "cyclic", "uniform", "scan", "zipf", "hotspot",
+)
 #: Arrival pattern labels.
 ARRIVAL_PATTERNS = ("poisson", "bursty")
 #: Query kind labels.
@@ -62,6 +64,12 @@ class SimulationConfig:
     hot_access_probability: float = 0.8
     csh_change_every: int = 500
     cyclic_scan_fraction: float = 0.3
+    #: Every Nth query of the ``scan`` heat is a full sequential scan.
+    scan_every: int = 5
+    #: Exponent of the ``zipf`` heat's popularity law.
+    zipf_s: float = 0.99
+    #: Queries between hot-window slides of the ``hotspot`` heat.
+    hotspot_shift_every: int = 500
     attribute_skew: float = 0.8
     #: Cache-table overhead per attribute-grained entry (surrogate slot,
     #: version, refresh deadline).  Object-grained entries already carry
@@ -152,6 +160,19 @@ class SimulationConfig:
         if self.heat not in HEAT_PATTERNS:
             raise ConfigurationError(
                 f"heat must be one of {HEAT_PATTERNS}, got {self.heat!r}"
+            )
+        if self.scan_every < 1:
+            raise ConfigurationError(
+                f"scan_every must be >= 1, got {self.scan_every!r}"
+            )
+        if self.zipf_s <= 0:
+            raise ConfigurationError(
+                f"zipf_s must be positive, got {self.zipf_s!r}"
+            )
+        if self.hotspot_shift_every < 1:
+            raise ConfigurationError(
+                f"hotspot_shift_every must be >= 1, got "
+                f"{self.hotspot_shift_every!r}"
             )
         if not 0.0 <= self.update_probability <= 1.0:
             raise ConfigurationError(

@@ -37,8 +37,11 @@ from repro.workload.heat import (
     ChangingSkewedHeat,
     CyclicHeat,
     HeatDistribution,
+    SequentialScanHeat,
+    ShiftingHotspotHeat,
     SkewedHeat,
     UniformHeat,
+    ZipfHeat,
 )
 from repro.workload.queries import QueryWorkload
 
@@ -271,6 +274,24 @@ class Simulation:
             )
         if config.heat == "uniform":
             return UniformHeat(oids, rng)
+        if config.heat == "scan":
+            return SequentialScanHeat(
+                oids,
+                rng,
+                scan_every=config.scan_every,
+                hot_fraction=config.hot_fraction,
+                hot_access_probability=config.hot_access_probability,
+            )
+        if config.heat == "zipf":
+            return ZipfHeat(oids, rng, s=config.zipf_s)
+        if config.heat == "hotspot":
+            return ShiftingHotspotHeat(
+                oids,
+                rng,
+                shift_every=config.hotspot_shift_every,
+                hot_fraction=config.hot_fraction,
+                hot_access_probability=config.hot_access_probability,
+            )
         raise ConfigurationError(f"unknown heat pattern {config.heat!r}")
 
     def _build_arrivals(self, rng: RandomStream) -> ArrivalProcess:

@@ -17,7 +17,7 @@ Two emission disciplines keep the bus cheap:
   and are only constructed when a subscriber asked for them (the emit
   site checks ``bus.wants(EventType)`` first): :class:`CacheAdmit`,
   :class:`CacheRefresh`, :class:`CacheInvalidate`, :class:`CacheEvict`,
-  :class:`RefreshExpired`, :class:`RequestServed`,
+  :class:`CacheReject`, :class:`RefreshExpired`, :class:`RequestServed`,
   :class:`ResourceWait`, :class:`SchedulingCollision`.
 
 All fields are JSON-representable scalars or cache keys (which the
@@ -149,6 +149,23 @@ class CacheEvict(SimEvent):
     key: KeyLike
     size_bytes: int
     score: "float | None" = None
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheReject(SimEvent):
+    """An admission-aware policy denied a new entry (guarded).
+
+    Emitted when :meth:`ReplacementPolicy.should_admit` returns
+    ``False`` for an insert that would have forced an eviction: the
+    candidate never becomes resident, no victim is chosen, and the
+    occupancy ledger must not move.  ``size_bytes`` is the size the
+    rejected entry would have occupied.
+    """
+
+    client_id: int
+    cache: str
+    key: KeyLike
+    size_bytes: int
 
 
 @dataclasses.dataclass(frozen=True)
@@ -317,6 +334,7 @@ ALL_EVENT_TYPES: tuple[type[SimEvent], ...] = (
     CacheRefresh,
     CacheInvalidate,
     CacheEvict,
+    CacheReject,
     RefreshExpired,
     RemoteRound,
     RequestSent,

@@ -12,8 +12,11 @@ from repro.workload.heat import (
     ChangingSkewedHeat,
     CyclicHeat,
     HeatDistribution,
+    SequentialScanHeat,
+    ShiftingHotspotHeat,
     SkewedHeat,
     UniformHeat,
+    ZipfHeat,
 )
 from repro.workload.queries import (
     DEFAULT_ATTRS_PER_OBJECT,
@@ -35,7 +38,10 @@ __all__ = [
     "PoissonArrival",
     "QueryWorkload",
     "RatePeriod",
+    "SequentialScanHeat",
+    "ShiftingHotspotHeat",
     "SkewedHeat",
     "UniformHeat",
+    "ZipfHeat",
     "skewed_weights",
 ]

@@ -12,6 +12,20 @@
   weakness and LRU-k's strength on this pattern are exactly what the
   paper's Figure 6 shows.
 * **Uniform** — no skew at all (extension baseline).
+
+The Experiment #8 tournament adds three modern stress patterns:
+
+* **Scan** — SH punctuated by full-query sequential scan bursts: every
+  ``scan_every``-th query walks the database in OID order.  One-shot
+  scan items reward admission filtering (W-TinyLFU's window) and punish
+  pure recency.
+* **Zipf** — the standard caching benchmark skew: object popularity
+  follows a Zipf law over a per-client random ranking, giving a long
+  tail instead of SH's two flat buckets.
+* **Shifting hotspot** — a *contiguous* hot window over the OID space
+  that slides by half its width every ``shift_every`` queries.  Unlike
+  CSH's random re-pick, locality drifts gradually, so policies with
+  frequency aging track it while all-time frequency counts lag.
 """
 
 from __future__ import annotations
@@ -159,6 +173,220 @@ class ChangingSkewedHeat(SkewedHeat):
 
     def describe(self) -> str:
         return f"CSH-{self.change_every}"
+
+
+class SequentialScanHeat(SkewedHeat):
+    """SH punctuated by periodic whole-query sequential scans.
+
+    Query indices divisible by ``scan_every`` take *all* their picks
+    from a cursor walking the database in OID order (wrapping around);
+    every other query samples the per-client hot set like SH.  The scan
+    items are one-shot on cache timescales — the pattern scan-resistant
+    policies are built for.
+    """
+
+    def __init__(
+        self,
+        oids: t.Sequence[OID],
+        rng: RandomStream,
+        scan_every: int = 5,
+        hot_fraction: float = 0.2,
+        hot_access_probability: float = 0.8,
+    ) -> None:
+        if scan_every < 1:
+            raise ConfigurationError(
+                f"scan interval must be >= 1, got {scan_every!r}"
+            )
+        self.scan_every = int(scan_every)
+        self._cursor = 0
+        super().__init__(oids, rng, hot_fraction, hot_access_probability)
+
+    def select_objects(self, query_index: int, count: int) -> list[OID]:
+        if query_index % self.scan_every != 0:
+            return super().select_objects(query_index, count)
+        if count > len(self._ordered):
+            raise ConfigurationError(
+                f"cannot select {count} of {len(self._ordered)} objects"
+            )
+        picks: list[OID] = []
+        chosen: set[OID] = set()
+        while len(picks) < count:
+            candidate = self._ordered[self._cursor]
+            self._cursor = (self._cursor + 1) % len(self._ordered)
+            if candidate not in chosen:
+                chosen.add(candidate)
+                picks.append(candidate)
+        return picks
+
+    def describe(self) -> str:
+        return f"scan-{self.scan_every}"
+
+
+class ZipfHeat(HeatDistribution):
+    """Zipf-distributed popularity over a per-client object ranking.
+
+    Object at popularity rank ``r`` (1-based) is drawn with weight
+    ``r**-s``; each client ranks the population in its own random
+    order, mirroring SH's per-client hot sets.  ``s`` around 1 is the
+    classic web/caching skew — a long tail instead of SH's two flat
+    buckets.
+    """
+
+    def __init__(
+        self,
+        oids: t.Sequence[OID],
+        rng: RandomStream,
+        s: float = 0.99,
+    ) -> None:
+        if not s > 0.0:
+            raise ConfigurationError(
+                f"zipf exponent must be positive, got {s!r}"
+            )
+        population = list(oids)
+        if len(population) < 2:
+            raise ConfigurationError("need at least two objects")
+        self.s = float(s)
+        self._rng = rng
+        #: This client's popularity ranking: a seeded permutation.
+        self._ranked = rng.sample(population, len(population))
+        cumulative: list[float] = []
+        total = 0.0
+        for rank in range(1, len(population) + 1):
+            total += rank ** -self.s
+            cumulative.append(total)
+        self._cumulative = cumulative
+
+    def select_objects(self, query_index: int, count: int) -> list[OID]:
+        if count > len(self._ranked):
+            raise ConfigurationError(
+                f"cannot select {count} of {len(self._ranked)} objects"
+            )
+        chosen: set[OID] = set()
+        picks: list[OID] = []
+        attempts = 0
+        while len(picks) < count:
+            attempts += 1
+            if attempts > 50 * count:
+                # Same deterministic fallback as SkewedHeat: extreme
+                # skew could reject forever on the handful of unchosen
+                # head objects.
+                remaining = [o for o in self._ranked if o not in chosen]
+                picks.extend(remaining[: count - len(picks)])
+                break
+            candidate = self._ranked[
+                self._rng.weighted_index(self._cumulative)
+            ]
+            if candidate not in chosen:
+                chosen.add(candidate)
+                picks.append(candidate)
+        return picks
+
+    def describe(self) -> str:
+        return f"zipf-{self.s:g}"
+
+
+class ShiftingHotspotHeat(HeatDistribution):
+    """A contiguous hot window drifting across the OID space.
+
+    The hot set is ``hot_fraction`` of the population, *contiguous* in
+    OID order, starting at a per-client random offset; every
+    ``shift_every`` queries it slides forward by half its width
+    (wrapping), so successive hot sets overlap.  Gradual drift is the
+    pattern frequency-*aging* policies handle and all-time frequency
+    counts do not — the complement to CSH's abrupt random re-pick.
+    """
+
+    def __init__(
+        self,
+        oids: t.Sequence[OID],
+        rng: RandomStream,
+        shift_every: int = 500,
+        hot_fraction: float = 0.2,
+        hot_access_probability: float = 0.8,
+    ) -> None:
+        if shift_every < 1:
+            raise ConfigurationError(
+                f"shift interval must be >= 1, got {shift_every!r}"
+            )
+        if not 0.0 < hot_fraction < 1.0:
+            raise ConfigurationError(
+                f"hot fraction must lie in (0, 1), got {hot_fraction!r}"
+            )
+        if not 0.0 <= hot_access_probability <= 1.0:
+            raise ConfigurationError(
+                f"hot access probability out of range: "
+                f"{hot_access_probability!r}"
+            )
+        self._ordered = sorted(oids, key=oid_sort_key)
+        if len(self._ordered) < 2:
+            raise ConfigurationError("need at least two objects")
+        self.shift_every = int(shift_every)
+        self.hot_fraction = hot_fraction
+        self.hot_access_probability = hot_access_probability
+        self._hot_count = max(1, round(hot_fraction * len(self._ordered)))
+        self._step = max(1, self._hot_count // 2)
+        self._start = rng.randint(0, len(self._ordered) - 1)
+        self._era = 0
+        self._rng = rng
+        self._hot: list[OID] = []
+        self._cold: list[OID] = []
+        self._rebuild_buckets()
+
+    @property
+    def hot_set(self) -> frozenset[OID]:
+        return frozenset(self._hot)
+
+    def _rebuild_buckets(self) -> None:
+        n = len(self._ordered)
+        hot_indices = {
+            (self._start + offset) % n for offset in range(self._hot_count)
+        }
+        self._hot = [
+            oid
+            for index, oid in enumerate(self._ordered)
+            if index in hot_indices
+        ]
+        self._cold = [
+            oid
+            for index, oid in enumerate(self._ordered)
+            if index not in hot_indices
+        ]
+
+    def select_objects(self, query_index: int, count: int) -> list[OID]:
+        if count > len(self._ordered):
+            raise ConfigurationError(
+                f"cannot select {count} of {len(self._ordered)} objects"
+            )
+        era = query_index // self.shift_every
+        if era != self._era:
+            # Slide once per boundary crossed, so very long gaps between
+            # queries do not teleport the hotspot.
+            self._start = (
+                self._start + self._step * (era - self._era)
+            ) % len(self._ordered)
+            self._era = era
+            self._rebuild_buckets()
+        chosen: set[OID] = set()
+        picks: list[OID] = []
+        attempts = 0
+        while len(picks) < count:
+            attempts += 1
+            if attempts > 50 * count:
+                remaining = [o for o in self._ordered if o not in chosen]
+                picks.extend(remaining[: count - len(picks)])
+                break
+            if self._rng.bernoulli(self.hot_access_probability):
+                bucket = self._hot
+            else:
+                bucket = self._cold
+            candidate = bucket[self._rng.randint(0, len(bucket) - 1)]
+            if candidate not in chosen:
+                chosen.add(candidate)
+                picks.append(candidate)
+        return picks
+
+    def describe(self) -> str:
+        return f"hotspot-{self.shift_every}"
 
 
 class CyclicHeat(HeatDistribution):

@@ -18,6 +18,7 @@ from repro.obs.bus import EventBus
 from repro.obs.events import (
     CacheAccess,
     CacheAdmit,
+    CacheReject,
     QueryComplete,
     SchedulingCollision,
 )
@@ -137,6 +138,19 @@ class TestDecodeRecord:
         assert isinstance(decoded, SchedulingCollision)
         assert decoded.processes == ("a", "b")
 
+    def test_cache_reject_round_trips(self):
+        record = {
+            "type": "CacheReject",
+            "time": 3.0,
+            "client_id": 4,
+            "cache": "object-cache",
+            "key": "k",
+            "size_bytes": 64,
+        }
+        decoded = decode_record(record)
+        assert isinstance(decoded, CacheReject)
+        assert decoded.size_bytes == 64
+
     def test_unknown_type_is_none(self):
         assert decode_record({"type": "NotAnEvent", "time": 1.0}) is None
 
@@ -232,6 +246,7 @@ class TestReconcile:
             used_bytes: int
             admissions: int
             evictions: int
+            rejections: int = 0
 
         engine = InvariantEngine([CacheConservationChecker()])
         engine.feed(
@@ -244,6 +259,44 @@ class TestReconcile:
         assert {v.checker_id for v in engine.report().violations} == {
             "CON007"
         }
+
+    def test_rejection_ledger_must_match_live_cache(self):
+        @dataclasses.dataclass
+        class FakeCache:
+            used_bytes: int = 0
+            admissions: int = 0
+            evictions: int = 0
+            rejections: int = 0
+
+        engine = InvariantEngine([CacheConservationChecker()])
+        engine.feed(
+            CacheReject(2.0, 0, "object-cache", "other-key", 100)
+        )
+        context = RunContext(
+            caches={(0, "object-cache"): FakeCache(rejections=2)}
+        )
+        engine.reconcile(context)
+        assert {v.checker_id for v in engine.report().violations} == {
+            "CON007"
+        }
+
+    def test_matching_rejection_ledger_is_clean(self):
+        @dataclasses.dataclass
+        class FakeCache:
+            used_bytes: int = 0
+            admissions: int = 0
+            evictions: int = 0
+            rejections: int = 0
+
+        engine = InvariantEngine([CacheConservationChecker()])
+        engine.feed(
+            CacheReject(2.0, 0, "object-cache", "other-key", 100)
+        )
+        context = RunContext(
+            caches={(0, "object-cache"): FakeCache(rejections=1)}
+        )
+        engine.reconcile(context)
+        assert engine.report().ok
 
     def test_channel_totals_must_match_stats(self):
         @dataclasses.dataclass

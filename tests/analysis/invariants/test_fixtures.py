@@ -26,6 +26,8 @@ EXPECTED = {
     "con001_byte_mismatch.jsonl": "CON001",
     "con002_unmatched_drop_fault.jsonl": "CON002",
     "con003_over_capacity.jsonl": "CON003",
+    "con003_reject_of_resident.jsonl": "CON003",
+    "con003_admit_of_resident.jsonl": "CON003",
     "con004_complete_out_of_order.jsonl": "CON004",
     "con005_negative_wait.jsonl": "CON005",
 }

@@ -1,0 +1,165 @@
+"""Shared conformance suite over every *registered* replacement policy.
+
+Where ``test_replacement_policies.py`` checks hand-picked behaviours,
+this suite drives each policy through long pseudo-random operation
+walks and asserts the properties the storage cache depends on:
+
+* residency bookkeeping agrees with a reference model at every step;
+* ``evict`` returns a resident key, removes it, and raises on empty;
+* ``should_admit`` returns a bool and never changes residency;
+* ``segment_of`` answers for residents without raising;
+* a policy is a deterministic function of its operation history — two
+  fresh instances fed the same walk emit identical victim sequences.
+
+The spec list below must cover the registry exactly: registering a new
+policy without adding a conformance spec fails the suite, which is the
+point.
+"""
+
+import random
+
+import pytest
+
+from repro.core.replacement import available_policies, create_policy
+from repro.errors import ReplacementError
+from repro.oodb.objects import OID
+
+#: At least one concrete spec per registered policy name (parameterised
+#: ones get a default and a tuned variant).
+CONFORMANCE_SPECS = [
+    "clock",
+    "cmslru",
+    "cmslru-64",
+    "ewma-0.5",
+    "fifo",
+    "lrd",
+    "lrfu",
+    "lrfu-0.1",
+    "lru",
+    "lru-3",
+    "lruk-2",
+    "mean",
+    "random-7",
+    "tinylfu",
+    "tinylfu-25",
+    "tinylfu-adaptive",
+    "window-5",
+]
+
+
+def key(n, attr=None):
+    return (OID("Root", n), attr)
+
+
+def test_spec_list_covers_registry():
+    covered = {spec.split("-", 1)[0] for spec in CONFORMANCE_SPECS}
+    missing = set(available_policies()) - covered
+    assert not missing, (
+        f"registered policies without a conformance spec: {missing} — "
+        f"add them to CONFORMANCE_SPECS"
+    )
+
+
+def walk(policy, seed, steps=400, keyspace=40):
+    """Drive ``policy`` through a pseudo-random op sequence, checking
+    residency against a reference model at every step.  Returns the
+    victim sequence."""
+    rng = random.Random(seed)
+    resident = []  # insertion-ordered reference model
+    victims = []
+    clock = 0.0
+    for __ in range(steps):
+        clock += rng.random() * 10.0
+        op = rng.random()
+        if op < 0.45 or not resident:
+            absent = [n for n in range(keyspace) if n not in resident]
+            if not absent:
+                continue
+            n = rng.choice(absent)
+            # Mirror the storage cache: consult the admission filter,
+            # then admit only on acceptance.
+            verdict = policy.should_admit(key(n), clock)
+            assert isinstance(verdict, bool)
+            assert len(policy) == len(resident), (
+                "should_admit must not change residency"
+            )
+            if verdict:
+                policy.on_admit(key(n), clock)
+                resident.append(n)
+        elif op < 0.75:
+            n = rng.choice(resident)
+            policy.on_access(key(n), clock)
+        elif op < 0.85:
+            n = rng.choice(resident)
+            policy.remove(key(n))
+            resident.remove(n)
+        else:
+            victim = policy.evict(clock)
+            assert victim[0].number in resident, (
+                f"evicted non-resident key {victim!r}"
+            )
+            assert victim not in policy
+            resident.remove(victim[0].number)
+            victims.append(victim)
+        assert len(policy) == len(resident)
+        for n in rng.sample(range(keyspace), 5):
+            assert (key(n) in policy) == (n in resident)
+        segment = (
+            policy.segment_of(key(resident[0])) if resident else None
+        )
+        assert segment is None or isinstance(segment, str)
+    return victims
+
+
+@pytest.fixture(params=CONFORMANCE_SPECS)
+def spec(request):
+    return request.param
+
+
+class TestConformance:
+    def test_walk_keeps_residency_in_sync(self, spec):
+        policy = create_policy(spec)
+        victims = walk(policy, seed=11)
+        assert victims  # the walk actually exercised eviction
+
+    def test_walk_second_seed(self, spec):
+        walk(create_policy(spec), seed=97)
+
+    def test_deterministic_victim_sequence(self, spec):
+        a = walk(create_policy(spec), seed=23)
+        b = walk(create_policy(spec), seed=23)
+        assert a == b
+
+    def test_evict_from_empty_raises(self, spec):
+        policy = create_policy(spec)
+        with pytest.raises(ReplacementError):
+            policy.evict(0.0)
+        policy.on_admit(key(1), 0.0)
+        policy.evict(1.0)
+        with pytest.raises(ReplacementError):
+            policy.evict(2.0)
+
+    def test_default_admission_is_permissive_for_paper_policies(
+        self, spec
+    ):
+        """Only the sketch-gated policies may ever deny admission; the
+        six paper schemes must behave exactly as before the admission
+        hook existed."""
+        policy = create_policy(spec)
+        for n in range(10):
+            policy.on_admit(key(n), float(n))
+        if spec.split("-", 1)[0] in ("cmslru",):
+            return  # denial is this policy's whole point
+        for n in range(100, 110):
+            assert policy.should_admit(key(n), 20.0)
+
+    def test_full_drain_after_walk(self, spec):
+        policy = create_policy(spec)
+        walk(policy, seed=5, steps=150)
+        drained = 0
+        while len(policy):
+            policy.evict(10_000.0)
+            drained += 1
+        assert len(policy) == 0
+        with pytest.raises(ReplacementError):
+            policy.evict(10_001.0)

@@ -155,7 +155,7 @@ class TestLocalDatabase:
         cache.admit((oid, "a0"), 1, 0, 80, now=0.0, expires_at=10.0)
         cache.admit((oid, "a1"), 1, 0, 80, now=0.0, expires_at=10.0)
         cache.admit((other, "a0"), 1, 0, 80, now=0.0, expires_at=10.0)
-        dropped = local.forget(oid)
+        dropped = local.forget(oid, now=1.0)
         assert dropped == 2
         assert local.surrogate_for(oid) is None
         assert cache.lookup((other, "a0")) is not None

@@ -3,14 +3,17 @@
 import pytest
 
 from repro.core.replacement import (
+    CMSAdmissionLRUPolicy,
     ClockPolicy,
     EWMAPolicy,
     FIFOPolicy,
     LRDPolicy,
+    LRFUPolicy,
     LRUKPolicy,
     LRUPolicy,
     MeanPolicy,
     RandomPolicy,
+    WTinyLFUPolicy,
     WindowPolicy,
     available_policies,
     create_policy,
@@ -34,6 +37,10 @@ ALL_POLICY_FACTORIES = [
     ClockPolicy,
     FIFOPolicy,
     lambda: RandomPolicy(seed=1),
+    WTinyLFUPolicy,
+    lambda: WTinyLFUPolicy(adaptive=True),
+    CMSAdmissionLRUPolicy,
+    LRFUPolicy,
 ]
 
 

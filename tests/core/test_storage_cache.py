@@ -4,8 +4,11 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.replacement import LRUPolicy, create_policy
+from repro.core.replacement.base import ReplacementPolicy
 from repro.core.storage_cache import ClientStorageCache
 from repro.errors import CacheError
+from repro.obs.bus import EventBus
+from repro.obs.events import CacheReject
 from repro.oodb.objects import OID
 
 
@@ -14,7 +17,11 @@ def key(n, attr="a0"):
 
 
 def make_cache(capacity=400, policy=None):
-    return ClientStorageCache(capacity, policy or LRUPolicy())
+    # `policy or ...` would discard any *empty* policy: ReplacementPolicy
+    # defines __len__, and a freshly built policy is falsy.
+    return ClientStorageCache(
+        capacity, policy if policy is not None else LRUPolicy()
+    )
 
 
 class TestBasics:
@@ -69,8 +76,8 @@ class TestBasics:
     def test_invalidate(self):
         cache = make_cache()
         cache.admit(key(1), 1, 0, 100, now=0.0, expires_at=10.0)
-        assert cache.invalidate(key(1))
-        assert not cache.invalidate(key(1))
+        assert cache.invalidate(key(1), now=1.0)
+        assert not cache.invalidate(key(1), now=2.0)
         assert cache.used_bytes == 0
         cache.check_invariants()
 
@@ -78,7 +85,7 @@ class TestBasics:
         cache = make_cache()
         for n in range(3):
             cache.admit(key(n), n, 0, 100, now=0.0, expires_at=10.0)
-        cache.clear()
+        cache.clear(now=1.0)
         assert len(cache) == 0
         assert cache.used_bytes == 0
         cache.check_invariants()
@@ -91,8 +98,84 @@ class TestBasics:
         assert make_cache().valid_fraction(0.0) == 0.0
 
 
+class DenyAllPolicy(LRUPolicy):
+    """LRU whose admission filter denies every pressured insert."""
+
+    def should_admit(self, key, now):
+        return False
+
+
+class TestAdmissionControl:
+    def test_denial_leaves_cache_untouched(self):
+        cache = make_cache(200, DenyAllPolicy())
+        cache.admit(key(1), 1, 0, 100, now=0.0, expires_at=float("inf"))
+        cache.admit(key(2), 2, 0, 100, now=1.0, expires_at=float("inf"))
+        evicted = cache.admit(
+            key(3), 3, 0, 100, now=2.0, expires_at=float("inf")
+        )
+        assert evicted == []
+        assert key(3) not in cache
+        assert key(1) in cache and key(2) in cache
+        assert cache.rejections == 1
+        assert cache.evictions == 0
+        cache.check_invariants()
+
+    def test_filter_not_consulted_below_capacity(self):
+        """should_admit gates *forced evictions* only: while the cache
+        has room, even a deny-all filter admits freely."""
+        cache = make_cache(300, DenyAllPolicy())
+        for n in range(3):
+            cache.admit(
+                key(n), n, 0, 100, now=float(n), expires_at=float("inf")
+            )
+        assert len(cache) == 3
+        assert cache.rejections == 0
+
+    def test_refresh_bypasses_filter(self):
+        cache = make_cache(200, DenyAllPolicy())
+        cache.admit(key(1), 1, 0, 100, now=0.0, expires_at=5.0)
+        cache.admit(key(2), 2, 0, 100, now=1.0, expires_at=5.0)
+        # Resident key: in-place refresh, no admission decision.
+        cache.admit(key(1), 9, 1, 100, now=2.0, expires_at=50.0)
+        assert cache.lookup(key(1)).value == 9
+        assert cache.rejections == 0
+
+    def test_reject_event_emitted_when_wanted(self):
+        captured = []
+        bus = EventBus()
+        bus.subscribe(CacheReject, captured.append)
+        cache = ClientStorageCache(
+            200, DenyAllPolicy(), name="c0", bus=bus, client_id=7
+        )
+        cache.admit(key(1), 1, 0, 100, now=0.0, expires_at=float("inf"))
+        cache.admit(key(2), 2, 0, 100, now=1.0, expires_at=float("inf"))
+        cache.admit(key(3), 3, 0, 100, now=2.0, expires_at=float("inf"))
+        assert len(captured) == 1
+        event = captured[0]
+        assert event.key == key(3)
+        assert event.client_id == 7
+        assert event.cache == "c0"
+        assert event.size_bytes == 100
+        assert event.time == 2.0
+
+    def test_default_policies_never_reject(self):
+        cache = make_cache(300)
+        for n in range(20):
+            cache.admit(
+                key(n), n, 0, 100, now=float(n), expires_at=float("inf")
+            )
+        assert cache.rejections == 0
+        assert cache.evictions == 17
+
+    def test_base_policy_admits_by_default(self):
+        policy = LRUPolicy()
+        assert policy.should_admit(key(1), 0.0) is True
+        assert policy.segment_of(key(1)) is None
+
+
 POLICY_SPECS = ["lru", "lru-3", "lrd", "mean", "window-4", "ewma-0.5",
-                "clock", "fifo", "random-5"]
+                "clock", "fifo", "random-5", "tinylfu-10",
+                "tinylfu-adaptive", "cmslru", "lrfu-0.001"]
 
 
 @settings(max_examples=40, deadline=None)
@@ -118,7 +201,7 @@ def test_cache_invariants_under_any_policy(spec, operations):
         elif op == "touch" and key(n) in cache:
             cache.touch(key(n), clock)
         elif op == "invalidate":
-            cache.invalidate(key(n))
+            cache.invalidate(key(n), now=clock)
         cache.check_invariants()
         assert cache.used_bytes <= cache.capacity_bytes
 

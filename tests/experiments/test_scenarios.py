@@ -57,7 +57,8 @@ class TestSpecValidation:
         names = scenario_names()
         assert "exp1-granularity" in names
         assert "exp7-bursts" in names
-        assert len(names) == 10
+        assert "tournament" in names
+        assert len(names) == 11
 
     def test_unknown_scenario(self):
         with pytest.raises(ScenarioError, match="unknown scenario"):

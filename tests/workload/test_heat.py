@@ -8,8 +8,11 @@ from repro.sim.rand import RandomStream
 from repro.workload.heat import (
     ChangingSkewedHeat,
     CyclicHeat,
+    SequentialScanHeat,
+    ShiftingHotspotHeat,
     SkewedHeat,
     UniformHeat,
+    ZipfHeat,
 )
 
 
@@ -144,3 +147,167 @@ class TestCyclicHeat:
     def test_scan_fraction_validation(self):
         with pytest.raises(ConfigurationError):
             CyclicHeat(oids(), RandomStream(1, "h"), scan_fraction=1.5)
+
+
+class TestSequentialScanHeat:
+    def test_scan_queries_walk_in_oid_order(self):
+        population = oids(40)
+        heat = SequentialScanHeat(
+            population, RandomStream(1, "h"), scan_every=5
+        )
+        first = heat.select_objects(0, 10)  # index 0: a scan query
+        second = heat.select_objects(5, 10)  # next scan continues
+        assert first == sorted(population)[:10]
+        assert second == sorted(population)[10:20]
+
+    def test_non_scan_queries_sample_skewed(self):
+        heat = SequentialScanHeat(
+            oids(200), RandomStream(7, "h"), scan_every=5
+        )
+        hot = heat.hot_set
+        hot_picks = total = 0
+        for q in range(1, 500):
+            if q % 5 == 0:
+                continue
+            for oid in heat.select_objects(q, 10):
+                total += 1
+                hot_picks += oid in hot
+        assert hot_picks / total == pytest.approx(0.8, abs=0.05)
+
+    def test_scan_cursor_wraps(self):
+        population = oids(15)
+        heat = SequentialScanHeat(
+            population, RandomStream(1, "h"), scan_every=1
+        )
+        heat.select_objects(0, 10)
+        wrapped = heat.select_objects(1, 10)
+        assert sorted(population)[0] in wrapped
+
+    def test_interval_validation(self):
+        with pytest.raises(ConfigurationError):
+            SequentialScanHeat(oids(), RandomStream(1, "h"), scan_every=0)
+
+    def test_describe(self):
+        heat = SequentialScanHeat(oids(), RandomStream(1, "h"), scan_every=7)
+        assert heat.describe() == "scan-7"
+
+
+class TestZipfHeat:
+    def test_selects_distinct(self):
+        heat = ZipfHeat(oids(100), RandomStream(1, "h"))
+        picks = heat.select_objects(0, 20)
+        assert len(set(picks)) == 20
+
+    def test_head_ranks_dominate(self):
+        """The top-10% ranked objects must draw far more than 10%."""
+        heat = ZipfHeat(oids(200), RandomStream(9, "h"), s=0.99)
+        head = set(heat._ranked[:20])
+        head_picks = total = 0
+        for q in range(500):
+            for oid in heat.select_objects(q, 10):
+                total += 1
+                head_picks += oid in head
+        assert head_picks / total > 0.3
+
+    def test_rankings_differ_per_stream(self):
+        a = ZipfHeat(oids(100), RandomStream(1, "a"))
+        b = ZipfHeat(oids(100), RandomStream(1, "b"))
+        assert a._ranked != b._ranked
+
+    def test_deterministic_for_stream(self):
+        def run():
+            heat = ZipfHeat(oids(100), RandomStream(3, "h"))
+            return [heat.select_objects(q, 5) for q in range(20)]
+
+        assert run() == run()
+
+    def test_exponent_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZipfHeat(oids(), RandomStream(1, "h"), s=0.0)
+        with pytest.raises(ConfigurationError):
+            ZipfHeat(oids(), RandomStream(1, "h"), s=-1.0)
+
+    def test_extreme_skew_completes(self):
+        heat = ZipfHeat(oids(30), RandomStream(1, "h"), s=5.0)
+        picks = heat.select_objects(0, 20)
+        assert len(set(picks)) == 20
+
+    def test_describe(self):
+        heat = ZipfHeat(oids(), RandomStream(1, "h"), s=0.99)
+        assert heat.describe() == "zipf-0.99"
+
+
+class TestShiftingHotspotHeat:
+    def test_hot_window_is_contiguous(self):
+        heat = ShiftingHotspotHeat(
+            oids(100), RandomStream(4, "h"), shift_every=50
+        )
+        ordered = sorted(oids(100))
+        indices = sorted(ordered.index(o) for o in heat.hot_set)
+        n, width = len(ordered), len(indices)
+        # Contiguity modulo wrap-around: consecutive indices differ by
+        # one except at most a single wrap gap.
+        gaps = [
+            (indices[(i + 1) % width] - indices[i]) % n
+            for i in range(width)
+        ]
+        assert sorted(gaps)[:-1] == [1] * (width - 1)
+
+    def test_hotspot_slides_at_interval_with_overlap(self):
+        heat = ShiftingHotspotHeat(
+            oids(200), RandomStream(5, "h"), shift_every=10
+        )
+        before = heat.hot_set
+        heat.select_objects(10, 5)  # crosses the era boundary
+        after = heat.hot_set
+        assert after != before
+        # Slides by half its width: successive hot sets overlap.
+        assert before & after
+
+    def test_stable_within_era(self):
+        heat = ShiftingHotspotHeat(
+            oids(200), RandomStream(5, "h"), shift_every=100
+        )
+        before = heat.hot_set
+        for q in range(50):
+            heat.select_objects(q, 5)
+        assert heat.hot_set == before
+
+    def test_long_gap_slides_once_per_era(self):
+        """Crossing many eras at once slides by step * eras, not one."""
+        a = ShiftingHotspotHeat(
+            oids(100), RandomStream(6, "h"), shift_every=10
+        )
+        b = ShiftingHotspotHeat(
+            oids(100), RandomStream(6, "h"), shift_every=10
+        )
+        a.select_objects(30, 1)  # jumps three eras
+        for q in (10, 20, 30):  # walks the same three boundaries
+            b.select_objects(q, 1)
+        assert a.hot_set == b.hot_set
+
+    def test_hot_bias_holds(self):
+        heat = ShiftingHotspotHeat(
+            oids(200), RandomStream(8, "h"), shift_every=10_000
+        )
+        hot = heat.hot_set
+        hot_picks = total = 0
+        for q in range(500):
+            for oid in heat.select_objects(q, 10):
+                total += 1
+                hot_picks += oid in hot
+        assert hot_picks / total == pytest.approx(0.8, abs=0.05)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShiftingHotspotHeat(oids(), RandomStream(1, "h"), shift_every=0)
+        with pytest.raises(ConfigurationError):
+            ShiftingHotspotHeat(
+                oids(), RandomStream(1, "h"), hot_fraction=1.0
+            )
+
+    def test_describe(self):
+        heat = ShiftingHotspotHeat(
+            oids(), RandomStream(1, "h"), shift_every=250
+        )
+        assert heat.describe() == "hotspot-250"
