@@ -15,6 +15,8 @@ Run:  python examples/adaptation_timeline.py [simulated-hours]
 import sys
 
 from repro import SimulationConfig
+from repro._units import HOUR
+from repro.workload.arrivals import DEFAULT_ARRIVAL_RATE
 from repro.experiments.runner import Simulation
 
 POLICIES = ("lru", "mean", "ewma-0.5")
@@ -28,7 +30,7 @@ def main() -> None:
     print(
         f"CSH adaptation timelines ({hours:g} h, hot set re-picked every "
         f"{change_every} queries ≈ every "
-        f"{change_every / 0.01 / 3600:.1f} h)\n"
+        f"{change_every / DEFAULT_ARRIVAL_RATE / HOUR:.1f} h)\n"
     )
     for policy in POLICIES:
         simulation = Simulation(

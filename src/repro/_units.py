@@ -1,28 +1,84 @@
-"""Unit helpers and physical constants used across the simulation.
+"""Unit helpers, physical constants and the typed unit-alias layer.
 
 All simulated time is in **seconds**, all sizes in **bytes** and all
 bandwidths in **bits per second**, matching the units in Section 4 of the
 paper (19.2 Kbps wireless channels, 40 Mbps disk, 100 Mbps memory).
+
+Two layers live here:
+
+* **Constants and converters** (``KBPS``, ``HOUR``,
+  :func:`transmission_time`, ...) — the only place bandwidth/size/horizon
+  magic numbers may be spelled out (rule REP013 enforces this).
+* **Typed unit aliases** (:data:`Seconds`, :data:`Bytes`, :data:`Bps`,
+  ...) — ``typing.Annotated`` wrappers that are invisible at runtime
+  (a ``Seconds`` is a plain ``float``) but give the dataflow lint tier
+  (:mod:`repro.analysis.dataflow`, rules REP011–REP015) anchors to
+  propagate unit tags through assignments, call arguments and
+  dataclass fields.  Annotate a signature with an alias and every
+  caller mixing bytes into it gets flagged at lint time.
+
+The sim-time vs wall-time split matters: :data:`Seconds` means
+*simulated* seconds (the ``Environment`` clock), :data:`WallSeconds`
+means host wall-clock seconds (``time.perf_counter`` and friends).
+Feeding one into the other is exactly the bug class REP012 exists for.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import typing as t
+
+
+@dataclasses.dataclass(frozen=True)
+class Unit:
+    """The annotation marker carried inside a typed unit alias.
+
+    ``symbol`` is the tag the dataflow analyzer propagates; the catalog
+    of symbols lives in :mod:`repro.analysis.dataflow.lattice`.
+    """
+
+    symbol: str
+
+
+#: Simulated seconds — the ``Environment`` clock's unit.
+Seconds = t.Annotated[float, Unit("s")]
+#: Host wall-clock seconds (``time.perf_counter`` readings); never mix
+#: with simulated time (REP012).
+WallSeconds = t.Annotated[float, Unit("wall_s")]
+#: Horizon-style durations expressed in hours; multiply by :data:`HOUR`
+#: to obtain simulated seconds.
+Hours = t.Annotated[float, Unit("h")]
+#: Payload / cache-capacity sizes in bytes.
+Bytes = t.Annotated[float, Unit("B")]
+#: Sizes already converted to bits (``bytes * BITS_PER_BYTE``).
+Bits = t.Annotated[float, Unit("bit")]
+#: Bandwidths in bits per second.
+Bps = t.Annotated[float, Unit("bps")]
+#: Event rates in events per (simulated) second.
+PerSecond = t.Annotated[float, Unit("per_s")]
+#: Dimensionless fractions: probabilities, utilizations, hit ratios.
+Ratio = t.Annotated[float, Unit("ratio")]
+#: Dimensionless cardinalities: clients, objects, retries.
+Count = t.Annotated[int, Unit("count")]
+#: The bits-per-byte conversion factor's own dimension.
+BitsPerByte = t.Annotated[int, Unit("bit/B")]
+
 #: Bits per byte; pulled into a constant so size/bandwidth conversions read
 #: as intent rather than magic numbers.
-BITS_PER_BYTE = 8
+BITS_PER_BYTE: BitsPerByte = 8
 
 #: One kilobit per second, in bits per second.
-KBPS = 1_000
+KBPS: Bps = 1_000
 #: One megabit per second, in bits per second.
-MBPS = 1_000_000
+MBPS: Bps = 1_000_000
 
 #: Seconds per minute/hour/day for readable horizon arithmetic.
-MINUTE = 60.0
-HOUR = 3_600.0
-DAY = 86_400.0
+MINUTE: Seconds = 60.0
+HOUR: Seconds = 3_600.0
+DAY: Seconds = 86_400.0
 
 
-def transmission_time(size_bytes: float, bandwidth_bps: float) -> float:
+def transmission_time(size_bytes: Bytes, bandwidth_bps: Bps) -> Seconds:
     """Return the seconds needed to move ``size_bytes`` at ``bandwidth_bps``.
 
     >>> transmission_time(1024, 19_200)  # one object over a wireless channel
@@ -35,11 +91,11 @@ def transmission_time(size_bytes: float, bandwidth_bps: float) -> float:
     return (size_bytes * BITS_PER_BYTE) / bandwidth_bps
 
 
-def hours(value: float) -> float:
+def hours(value: Hours) -> Seconds:
     """Convert hours to simulation seconds."""
     return value * HOUR
 
 
-def days(value: float) -> float:
+def days(value: float) -> Seconds:
     """Convert days to simulation seconds."""
     return value * DAY

@@ -1,0 +1,87 @@
+"""Project-wide unit/dimension dataflow analysis (rules REP011–REP015).
+
+The determinism lint's per-file rules catch *syntactic* hazards; this
+tier catches *semantic* ones: a ``bytes`` value flowing into a
+``seconds`` slot, a wall-clock reading fed to the simulated clock, a
+config knob declared in one unit and consumed in another module as a
+different one.  Three passes:
+
+1. :mod:`~repro.analysis.dataflow.symbols` builds a per-module symbol
+   table (functions, classes, dataclass fields, module constants,
+   imports) and links them project-wide, so a tag declared on
+   ``SimulationConfig.ir_interval_seconds`` in ``experiments/config.py``
+   is visible at a ``cfg.ir_interval_seconds`` read inside ``net/``.
+2. :mod:`~repro.analysis.dataflow.infer` walks every function body in
+   statement order, propagating unit tags through assignments, returns,
+   call arguments and comparisons using the arithmetic tables in
+   :mod:`~repro.analysis.dataflow.lattice`, and records a
+   :class:`~repro.analysis.dataflow.infer.Diagnostic` per violation.
+3. The ``REP011``–``REP015`` rule classes in
+   :mod:`repro.analysis.rules.units` filter those diagnostics into
+   engine findings, so suppression, selection and reporting work
+   exactly as for every other rule.
+
+Tags come from three sources, strongest first: explicit
+``repro._units`` alias annotations (``Seconds``, ``Bytes``, ...),
+inline ``typing.Annotated[..., Unit("s")]`` forms, and the name-suffix
+heuristic (``*_seconds``, ``*_bytes``, ``*_bps``, ``*_rate``...).
+"""
+
+from __future__ import annotations
+
+import ast
+import typing as t
+
+from repro.analysis.dataflow.infer import Diagnostic, ModuleInference
+from repro.analysis.dataflow.lattice import (
+    MAGIC_LITERALS,
+    UNIT_NAMES,
+    describe_tag,
+)
+from repro.analysis.dataflow.symbols import ProjectTable, build_project_table
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.engine import FileContext
+
+
+class DataflowModel:
+    """Everything the dataflow rules need: symbols plus diagnostics."""
+
+    def __init__(
+        self, project: ProjectTable, diagnostics: list[Diagnostic]
+    ) -> None:
+        self.project = project
+        self.diagnostics = diagnostics
+
+    def of_kind(self, kind: str) -> list[Diagnostic]:
+        return [diag for diag in self.diagnostics if diag.kind == kind]
+
+
+def build_model(
+    parsed: t.Sequence[tuple[ast.Module, "FileContext"]]
+) -> DataflowModel:
+    """Build symbol tables and run inference over every repro module.
+
+    Only files under a ``repro/`` package directory participate —
+    tests and scripts are neither analyzed nor flagged (fixture trees
+    in the test suite fake a ``repro/`` layout to exercise the rules).
+    """
+    project = build_project_table(parsed)
+    diagnostics: list[Diagnostic] = []
+    for module in project.modules.values():
+        inference = ModuleInference(project, module)
+        diagnostics.extend(inference.run())
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.kind))
+    return DataflowModel(project, diagnostics)
+
+
+__all__ = [
+    "DataflowModel",
+    "Diagnostic",
+    "MAGIC_LITERALS",
+    "ProjectTable",
+    "UNIT_NAMES",
+    "build_model",
+    "build_project_table",
+    "describe_tag",
+]

@@ -1,0 +1,664 @@
+"""Tag propagation through function bodies, and the diagnostics it emits.
+
+One :class:`ModuleInference` instance walks one module in statement
+order, carrying an environment of ``local name -> unit tag``.  Tags
+enter the environment from parameter declarations (annotation or
+suffix), assignments whose right-hand side has a known tag, and the
+name heuristic; they flow out through arithmetic (checked against the
+lattice tables), call arguments (checked against the callee's
+signature, resolved across modules), comparisons, returns and
+attribute stores.
+
+The walker is deliberately *flow-ordered but branch-naive*: bodies of
+``if``/``for``/``while`` are executed in source order against the same
+environment, and a later assignment simply overwrites.  That trades a
+little precision for zero path explosion — plenty for a lint tier whose
+contract is "no false positives on untagged code".
+
+Every violation becomes a :class:`Diagnostic` with a ``kind`` that maps
+one-to-one onto rules REP011–REP015 (see
+:mod:`repro.analysis.rules.units`).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import typing as t
+
+from repro.analysis.dataflow import lattice
+from repro.analysis.dataflow.lattice import (
+    LITERAL,
+    MAGIC_LITERALS,
+    SIM_SECONDS,
+    Tag,
+    WALL_SECONDS,
+    describe_tag,
+    is_concrete,
+    tag_from_name,
+)
+from repro.analysis.dataflow.symbols import (
+    ClassTable,
+    FunctionSig,
+    ModuleTable,
+    ProjectTable,
+    annotation_tag,
+    declared_tag,
+)
+
+#: Diagnostic kinds, one per rule.
+KIND_ARITHMETIC = "arith"  # REP011
+KIND_WALL_INTO_SIM = "wall-sim"  # REP012
+KIND_MAGIC_LITERAL = "magic"  # REP013
+KIND_DECLARED_MISMATCH = "declared"  # REP014
+KIND_COMPARISON = "compare"  # REP015
+
+#: Wall-clock sources: a call to any of these yields ``wall_s``.
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.monotonic",
+    "time.perf_counter",
+    "time.process_time",
+})
+
+#: Builtins whose result keeps the (agreeing) tag of their arguments.
+_TAG_PRESERVING_BUILTINS = frozenset({"abs", "min", "max", "round", "float", "int"})
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One unit-flow violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    kind: str
+    message: str
+
+
+def _render(node: ast.expr, limit: int = 48) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        text = "<expr>"
+    if len(text) > limit:
+        text = text[: limit - 3] + "..."
+    return text
+
+
+class ModuleInference:
+    """Run tag inference over one module, collecting diagnostics."""
+
+    def __init__(self, project: ProjectTable, module: ModuleTable) -> None:
+        self.project = project
+        self.module = module
+        self.diagnostics: list[Diagnostic] = []
+
+    # ------------------------------------------------------------------
+    #: Modules allowed to spell unit literals: the constants' home and
+    #: the lint catalog that recognises them.
+    _LITERAL_OWNERS = frozenset({
+        "repro._units",
+        "repro.analysis.dataflow.lattice",
+    })
+
+    def run(self) -> list[Diagnostic]:
+        if self.module.name not in self._LITERAL_OWNERS:
+            self._magic_scan()
+        env: dict[str, Tag] = {}
+        self._exec_block(self.module.tree.body, env, None, None)
+        return self.diagnostics
+
+    def _magic_scan(self) -> None:
+        for node in ast.walk(self.module.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            value = node.value
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            suggestion = MAGIC_LITERALS.get(value)
+            if suggestion is not None:
+                self._diag(
+                    KIND_MAGIC_LITERAL,
+                    node,
+                    f"magic bandwidth/size/horizon literal {value:g}; "
+                    f"spell it {suggestion} from repro._units",
+                )
+
+    def _diag(self, kind: str, node: ast.AST, message: str) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                path=self.module.ctx.rel_path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                kind=kind,
+                message=message,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _exec_block(
+        self,
+        body: t.Sequence[ast.stmt],
+        env: dict[str, Tag],
+        klass: ClassTable | None,
+        return_tag: Tag,
+    ) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt, env, klass, return_tag)
+
+    def _exec_stmt(
+        self,
+        stmt: ast.stmt,
+        env: dict[str, Tag],
+        klass: ClassTable | None,
+        return_tag: Tag,
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._exec_function(stmt, klass)
+        elif isinstance(stmt, ast.ClassDef):
+            table = self.module.classes.get(stmt.name)
+            self._exec_block(stmt.body, {}, table, None)
+        elif isinstance(stmt, ast.Assign):
+            self._exec_assign(stmt, env, klass)
+        elif isinstance(stmt, ast.AnnAssign):
+            self._exec_ann_assign(stmt, env, klass)
+        elif isinstance(stmt, ast.AugAssign):
+            self._exec_aug_assign(stmt, env, klass)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value_tag = self._tag(stmt.value, env, klass)
+                if (
+                    is_concrete(return_tag)
+                    and is_concrete(value_tag)
+                    and value_tag != return_tag
+                ):
+                    self._diag(
+                        KIND_DECLARED_MISMATCH,
+                        stmt,
+                        f"returns {describe_tag(value_tag)} from a "
+                        f"function declared to return "
+                        f"{describe_tag(return_tag)}",
+                    )
+        else:
+            self._exec_generic(stmt, env, klass, return_tag)
+
+    def _exec_generic(
+        self,
+        node: ast.AST,
+        env: dict[str, Tag],
+        klass: ClassTable | None,
+        return_tag: Tag,
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._tag(child, env, klass)
+            elif isinstance(child, ast.stmt):
+                self._exec_stmt(child, env, klass, return_tag)
+            else:
+                self._exec_generic(child, env, klass, return_tag)
+
+    def _exec_function(
+        self,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        klass: ClassTable | None,
+    ) -> None:
+        env: dict[str, Tag] = {}
+        args = node.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            env[arg.arg] = declared_tag(arg.arg, arg.annotation)
+        # Default expressions evaluate in the enclosing scope.
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            self._tag(default, env, klass)
+        self._exec_block(node.body, env, klass, annotation_tag(node.returns))
+
+    def _exec_assign(
+        self,
+        stmt: ast.Assign,
+        env: dict[str, Tag],
+        klass: ClassTable | None,
+    ) -> None:
+        value_tag = self._tag(stmt.value, env, klass)
+        for target in stmt.targets:
+            self._bind_target(target, value_tag, env, klass)
+
+    def _exec_ann_assign(
+        self,
+        stmt: ast.AnnAssign,
+        env: dict[str, Tag],
+        klass: ClassTable | None,
+    ) -> None:
+        target = stmt.target
+        name = target.id if isinstance(target, ast.Name) else None
+        declared = annotation_tag(stmt.annotation) or (
+            tag_from_name(name) if name else None
+        )
+        if stmt.value is not None:
+            value_tag = self._tag(stmt.value, env, klass)
+            if (
+                is_concrete(declared)
+                and is_concrete(value_tag)
+                and declared != value_tag
+            ):
+                label = name or _render(target)
+                self._diag(
+                    KIND_DECLARED_MISMATCH,
+                    stmt,
+                    f"assigns {describe_tag(value_tag)} to {label!r} "
+                    f"declared as {describe_tag(declared)}",
+                )
+        if name is not None:
+            env[name] = declared
+        elif stmt.value is not None:
+            self._bind_target(target, declared, env, klass)
+
+    def _exec_aug_assign(
+        self,
+        stmt: ast.AugAssign,
+        env: dict[str, Tag],
+        klass: ClassTable | None,
+    ) -> None:
+        target_tag = self._tag(stmt.target, env, klass)
+        value_tag = self._tag(stmt.value, env, klass)
+        if isinstance(stmt.op, (ast.Add, ast.Sub)):
+            _, mismatch = lattice.add_sub(target_tag, value_tag)
+            if mismatch:
+                self._diag(
+                    KIND_ARITHMETIC,
+                    stmt,
+                    f"augmented assignment mixes "
+                    f"{describe_tag(target_tag)} and "
+                    f"{describe_tag(value_tag)}",
+                )
+
+    def _bind_target(
+        self,
+        target: ast.expr,
+        value_tag: Tag,
+        env: dict[str, Tag],
+        klass: ClassTable | None,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if is_concrete(value_tag):
+                env[target.id] = value_tag
+            else:
+                env.setdefault(target.id, tag_from_name(target.id))
+        elif isinstance(target, ast.Attribute) and isinstance(
+            target.value, ast.Name
+        ) and target.value.id == "self" and klass is not None:
+            declared = klass.fields.get(target.attr)
+            if (
+                is_concrete(declared)
+                and is_concrete(value_tag)
+                and declared != value_tag
+            ):
+                self._diag(
+                    KIND_DECLARED_MISMATCH,
+                    target,
+                    f"assigns {describe_tag(value_tag)} to "
+                    f"self.{target.attr} declared as "
+                    f"{describe_tag(declared)}",
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, None, env, klass)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _tag(
+        self,
+        node: ast.expr,
+        env: dict[str, Tag],
+        klass: ClassTable | None,
+    ) -> Tag:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return None
+            if isinstance(node.value, (int, float)):
+                return LITERAL
+            return None
+        if isinstance(node, ast.Name):
+            return self._name_tag(node.id, env)
+        if isinstance(node, ast.Attribute):
+            return self._attribute_tag(node, env, klass)
+        if isinstance(node, ast.BinOp):
+            return self._binop_tag(node, env, klass)
+        if isinstance(node, ast.UnaryOp):
+            inner = self._tag(node.operand, env, klass)
+            return inner if isinstance(node.op, (ast.UAdd, ast.USub)) else None
+        if isinstance(node, ast.Compare):
+            self._check_compare(node, env, klass)
+            return None
+        if isinstance(node, ast.Call):
+            return self._call_tag(node, env, klass)
+        if isinstance(node, ast.IfExp):
+            self._tag(node.test, env, klass)
+            body = self._tag(node.body, env, klass)
+            orelse = self._tag(node.orelse, env, klass)
+            if body == orelse:
+                return body
+            if not is_concrete(body):
+                return orelse
+            if not is_concrete(orelse):
+                return body
+            return None
+        if isinstance(node, ast.NamedExpr):
+            value_tag = self._tag(node.value, env, klass)
+            if isinstance(node.target, ast.Name):
+                env[node.target.id] = (
+                    value_tag
+                    if is_concrete(value_tag)
+                    else tag_from_name(node.target.id)
+                )
+            return value_tag
+        if isinstance(node, ast.Starred):
+            return self._tag(node.value, env, klass)
+        if isinstance(node, ast.Lambda):
+            # Parameters are untagged inside; still worth scanning.
+            inner_env = dict(env)
+            for arg in node.args.args:
+                inner_env[arg.arg] = tag_from_name(arg.arg)
+            self._tag(node.body, inner_env, klass)
+            return None
+        # Containers, comprehensions, f-strings, subscripts, awaits...
+        # carry no single unit; recurse so nested expressions are still
+        # checked.
+        self._exec_generic(node, env, klass, None)
+        return None
+
+    def _name_tag(self, name: str, env: dict[str, Tag]) -> Tag:
+        if name in env:
+            return env[name]
+        if name in self.module.constants:
+            return self.module.constants[name]
+        dotted = self.module.imports.get(name)
+        if dotted is not None:
+            resolved = self.project.resolve(self.module, dotted)
+            if isinstance(resolved, str):
+                return resolved
+            return None
+        return tag_from_name(name)
+
+    def _attribute_tag(
+        self,
+        node: ast.Attribute,
+        env: dict[str, Tag],
+        klass: ClassTable | None,
+    ) -> Tag:
+        value = node.value
+        if isinstance(value, ast.Name):
+            dotted = self.module.imports.get(value.id)
+            if dotted is not None:
+                resolved = self.project.resolve(
+                    self.module, f"{dotted}.{node.attr}"
+                )
+                if isinstance(resolved, str):
+                    return resolved
+                return None
+            if value.id == "self" and klass is not None:
+                if node.attr in klass.properties:
+                    return klass.properties[node.attr]
+                if node.attr in klass.fields:
+                    return klass.fields[node.attr]
+        else:
+            self._tag(value, env, klass)
+        if node.attr in self.project.property_index:
+            return self.project.property_index[node.attr]
+        if node.attr in self.project.field_index:
+            return self.project.field_index[node.attr]
+        return tag_from_name(node.attr)
+
+    def _binop_tag(
+        self,
+        node: ast.BinOp,
+        env: dict[str, Tag],
+        klass: ClassTable | None,
+    ) -> Tag:
+        left = self._tag(node.left, env, klass)
+        right = self._tag(node.right, env, klass)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            result, mismatch = lattice.add_sub(left, right)
+            if mismatch:
+                verb = "adds" if isinstance(node.op, ast.Add) else "subtracts"
+                self._diag(
+                    KIND_ARITHMETIC,
+                    node,
+                    f"{verb} {describe_tag(left)} and "
+                    f"{describe_tag(right)} ({_render(node)})",
+                )
+            return result
+        if isinstance(node.op, ast.Mult):
+            result, note = lattice.multiply(left, right)
+            if note is not None:
+                self._diag(
+                    KIND_ARITHMETIC, node, f"{note} ({_render(node)})"
+                )
+            return result
+        if isinstance(node.op, ast.Div):
+            result, note = lattice.divide(left, right)
+            if note is not None:
+                self._diag(
+                    KIND_ARITHMETIC, node, f"{note} ({_render(node)})"
+                )
+            return result
+        return None
+
+    def _check_compare(
+        self,
+        node: ast.Compare,
+        env: dict[str, Tag],
+        klass: ClassTable | None,
+    ) -> None:
+        ordered = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+        previous = self._tag(node.left, env, klass)
+        for op, comparator in zip(node.ops, node.comparators):
+            current = self._tag(comparator, env, klass)
+            if isinstance(op, ordered) and lattice.comparison_mismatch(
+                previous, current
+            ):
+                self._diag(
+                    KIND_COMPARISON,
+                    node,
+                    f"compares {describe_tag(previous)} against "
+                    f"{describe_tag(current)} ({_render(node)})",
+                )
+            previous = current
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def _call_tag(
+        self,
+        node: ast.Call,
+        env: dict[str, Tag],
+        klass: ClassTable | None,
+    ) -> Tag:
+        func = node.func
+        # Wall-clock sources.
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            module_origin = self.module.imports.get(func.value.id)
+            if (
+                module_origin is not None
+                and f"{module_origin}.{func.attr}" in _WALL_CLOCK_CALLS
+            ):
+                return WALL_SECONDS
+        if isinstance(func, ast.Name):
+            origin = self.module.imports.get(func.id)
+            if origin in _WALL_CLOCK_CALLS:
+                return WALL_SECONDS
+            if func.id in _TAG_PRESERVING_BUILTINS and func.id not in (
+                self.module.functions
+            ):
+                return self._builtin_tag(node, env, klass)
+            if func.id == "len":
+                self._scan_call_operands(node, env, klass)
+                return lattice.COUNT
+
+        sig, skip_self = self._resolve_callable(func, env, klass)
+        if sig is None:
+            self._scan_call_operands(node, env, klass)
+            return None
+        self._check_call(node, sig, skip_self, env, klass)
+        return sig.return_tag
+
+    def _builtin_tag(
+        self,
+        node: ast.Call,
+        env: dict[str, Tag],
+        klass: ClassTable | None,
+    ) -> Tag:
+        tags = [self._tag(arg, env, klass) for arg in node.args]
+        for kw in node.keywords:
+            self._tag(kw.value, env, klass)
+        concrete = {tag for tag in tags if is_concrete(tag)}
+        if len(concrete) == 1:
+            return concrete.pop()
+        return None
+
+    def _scan_call_operands(
+        self,
+        node: ast.Call,
+        env: dict[str, Tag],
+        klass: ClassTable | None,
+    ) -> None:
+        if not isinstance(node.func, (ast.Name, ast.Attribute)):
+            self._tag(node.func, env, klass)
+        elif isinstance(node.func, ast.Attribute):
+            self._tag(node.func.value, env, klass)
+        for arg in node.args:
+            self._tag(arg, env, klass)
+        for kw in node.keywords:
+            self._tag(kw.value, env, klass)
+
+    def _resolve_callable(
+        self,
+        func: ast.expr,
+        env: dict[str, Tag],
+        klass: ClassTable | None,
+    ) -> "tuple[FunctionSig | None, bool]":
+        """Resolve a call target to a signature; second item is
+        "skip the leading ``self`` parameter"."""
+        if isinstance(func, ast.Name):
+            if func.id in self.module.functions:
+                return self.module.functions[func.id], False
+            if func.id in self.module.classes:
+                return self._constructor(self.module.classes[func.id])
+            dotted = self.module.imports.get(func.id)
+            if dotted is not None:
+                resolved = self.project.resolve(self.module, dotted)
+                if isinstance(resolved, FunctionSig):
+                    return resolved, False
+                if isinstance(resolved, ClassTable):
+                    return self._constructor(resolved)
+            return None, False
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name):
+                dotted = self.module.imports.get(value.id)
+                if dotted is not None:
+                    resolved = self.project.resolve(
+                        self.module, f"{dotted}.{func.attr}"
+                    )
+                    if isinstance(resolved, FunctionSig):
+                        return resolved, False
+                    if isinstance(resolved, ClassTable):
+                        return self._constructor(resolved)
+                    return None, False
+                if value.id == "self" and klass is not None:
+                    method = klass.methods.get(func.attr)
+                    if method is not None:
+                        return method, True
+                    return None, False
+            else:
+                self._tag(value, env, klass)
+            method = self.project.method_index.get(func.attr)
+            if method is not None:
+                return method, method.is_method
+        return None, False
+
+    @staticmethod
+    def _constructor(table: ClassTable) -> "tuple[FunctionSig | None, bool]":
+        init = table.methods.get("__init__")
+        if init is not None:
+            return init, True
+        if table.fields:
+            # Dataclass-style constructor: keyword arguments match the
+            # declared fields (positional order is inheritance-
+            # dependent, so only keywords are checked).
+            return (
+                FunctionSig(
+                    name=table.name,
+                    positional=(),
+                    by_keyword=dict(table.fields),
+                    return_tag=None,
+                    is_method=False,
+                ),
+                False,
+            )
+        return None, False
+
+    def _check_call(
+        self,
+        node: ast.Call,
+        sig: FunctionSig,
+        skip_self: bool,
+        env: dict[str, Tag],
+        klass: ClassTable | None,
+    ) -> None:
+        params = list(sig.positional)
+        if skip_self and params and params[0][0] in ("self", "cls"):
+            params = params[1:]
+        for index, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                self._tag(arg, env, klass)
+                params = []  # alignment lost
+                continue
+            arg_tag = self._tag(arg, env, klass)
+            if index < len(params):
+                pname, ptag = params[index]
+                self._check_argument(node, sig, arg, arg_tag, pname, ptag)
+        for kw in node.keywords:
+            arg_tag = self._tag(kw.value, env, klass)
+            if kw.arg is None:
+                continue
+            ptag = sig.by_keyword.get(kw.arg)
+            self._check_argument(node, sig, kw.value, arg_tag, kw.arg, ptag)
+
+    def _check_argument(
+        self,
+        call: ast.Call,
+        sig: FunctionSig,
+        arg: ast.expr,
+        arg_tag: Tag,
+        param_name: str,
+        param_tag: Tag,
+    ) -> None:
+        if not (is_concrete(arg_tag) and is_concrete(param_tag)):
+            return
+        if arg_tag == param_tag:
+            return
+        if arg_tag == WALL_SECONDS and param_tag == SIM_SECONDS:
+            self._diag(
+                KIND_WALL_INTO_SIM,
+                arg,
+                f"wall-clock seconds ({_render(arg)}) flow into "
+                f"sim-time parameter {param_name!r} of {sig.name}(); "
+                "the simulated clock must never see host time",
+            )
+            return
+        self._diag(
+            KIND_DECLARED_MISMATCH,
+            arg,
+            f"argument {_render(arg)} to {sig.name}() carries "
+            f"{describe_tag(arg_tag)}; parameter {param_name!r} is "
+            f"declared as {describe_tag(param_tag)}",
+        )

@@ -1,0 +1,229 @@
+"""The unit-tag lattice: tags, combination tables, the suffix heuristic.
+
+A *tag* is a short string naming a dimension (``"s"``, ``"B"``,
+``"bps"``...).  ``None`` is the lattice top — "unit unknown", compatible
+with everything — and :data:`LITERAL` marks a bare numeric literal,
+which scales any quantity without changing its dimension (``2 * HOUR``
+is still seconds).  Only *concrete* tags (everything else) participate
+in mismatch findings, so an untagged helper variable never produces a
+false positive; precision grows monotonically with annotation coverage.
+
+The combination tables encode the paper's dimensional algebra:
+
+* add/sub/compare require identical tags (``bytes + seconds`` → REP011,
+  ``wall_s < s`` → REP015);
+* multiplication and division know the physically meaningful products
+  (``bit / bps`` → ``s``, ``hours * s-per-hour`` → ``s``,
+  ``count / s`` → ``per_s``) and flag the one famously wrong pair —
+  ``bytes`` against ``bps`` without the ``BITS_PER_BYTE`` conversion,
+  the exact bug :func:`repro._units.transmission_time` exists to
+  prevent;
+* dimensionless tags (``ratio``, ``count``) and literals scale
+  anything.
+"""
+
+from __future__ import annotations
+
+#: Tag type: a concrete symbol, :data:`LITERAL`, or ``None`` (unknown).
+Tag = str | None
+
+SIM_SECONDS = "s"
+WALL_SECONDS = "wall_s"
+HOURS = "h"
+BYTES = "B"
+BITS = "bit"
+BPS = "bps"
+PER_SECOND = "per_s"
+RATIO = "ratio"
+COUNT = "count"
+BITS_PER_BYTE = "bit/B"
+
+#: Sentinel for a bare numeric literal (dimensionless scale factor).
+LITERAL = "<literal>"
+
+#: Every concrete tag, for validation and docs.
+CONCRETE_TAGS = frozenset({
+    SIM_SECONDS, WALL_SECONDS, HOURS, BYTES, BITS, BPS,
+    PER_SECOND, RATIO, COUNT, BITS_PER_BYTE,
+})
+
+#: ``repro._units`` alias name -> tag.  Matched by (attribute) name so
+#: fixture trees need not ship a ``_units`` module of their own.
+UNIT_NAMES: dict[str, str] = {
+    "Seconds": SIM_SECONDS,
+    "WallSeconds": WALL_SECONDS,
+    "Hours": HOURS,
+    "Bytes": BYTES,
+    "Bits": BITS,
+    "Bps": BPS,
+    "PerSecond": PER_SECOND,
+    "Ratio": RATIO,
+    "Count": COUNT,
+    "BitsPerByte": BITS_PER_BYTE,
+}
+
+_DESCRIPTIONS: dict[str, str] = {
+    SIM_SECONDS: "seconds (sim-time)",
+    WALL_SECONDS: "seconds (wall-clock)",
+    HOURS: "hours",
+    BYTES: "bytes",
+    BITS: "bits",
+    BPS: "bits/second",
+    PER_SECOND: "events/second",
+    RATIO: "dimensionless ratio",
+    COUNT: "count",
+    BITS_PER_BYTE: "bits-per-byte factor",
+}
+
+
+def describe_tag(tag: "str | None") -> str:
+    """Human-readable name used in finding messages."""
+    if tag is None or tag == LITERAL:
+        return "untagged"
+    return _DESCRIPTIONS.get(tag, tag)
+
+
+def is_concrete(tag: "str | None") -> bool:
+    return tag is not None and tag != LITERAL
+
+
+#: Name-suffix heuristic (checked on lowercased identifiers).  Order
+#: matters only for documentation; suffixes are mutually exclusive.
+SUFFIX_TAGS: tuple[tuple[str, str], ...] = (
+    ("_seconds", SIM_SECONDS),
+    ("_secs", SIM_SECONDS),
+    ("_hours", HOURS),
+    ("_bytes", BYTES),
+    ("_bits", BITS),
+    ("_bps", BPS),
+    ("_ratio", RATIO),
+    ("_fraction", RATIO),
+    ("_probability", RATIO),
+    ("_rate", RATIO),
+    ("_count", COUNT),
+)
+
+#: Name-prefix heuristic, for ledger-style names (``bytes_carried``).
+PREFIX_TAGS: tuple[tuple[str, str], ...] = (
+    ("bytes_", BYTES),
+    ("num_", COUNT),
+)
+
+
+def tag_from_name(name: str) -> "str | None":
+    """The suffix/prefix-heuristic tag for an identifier, if any."""
+    lowered = name.lower()
+    for suffix, tag in SUFFIX_TAGS:
+        if lowered.endswith(suffix):
+            return tag
+    for prefix, tag in PREFIX_TAGS:
+        if lowered.startswith(prefix):
+            return tag
+    return None
+
+
+#: Bandwidth/size/horizon literals that must be spelled via the
+#: ``repro._units`` constants (REP013): value -> suggested spelling.
+MAGIC_LITERALS: dict[float, str] = {
+    19_200: "19.2 * KBPS",
+    3_600: "HOUR",
+    86_400: "DAY",
+    40_000_000: "40 * MBPS",
+    100_000_000: "100 * MBPS",
+}
+
+
+# ----------------------------------------------------------------------
+# Combination tables
+# ----------------------------------------------------------------------
+def add_sub(
+    left: "str | None", right: "str | None"
+) -> "tuple[str | None, bool]":
+    """Result tag and mismatch flag for ``left ± right``.
+
+    A literal or unknown operand adopts the other side's tag (adding a
+    constant offset to seconds is still seconds).  Two different
+    concrete tags are a mismatch.
+    """
+    if not is_concrete(left):
+        return right if is_concrete(right) else None, False
+    if not is_concrete(right):
+        return left, False
+    if left == right:
+        return left, False
+    return None, True
+
+
+#: Physically meaningful products, symmetric: (tag, tag) -> result.
+_MUL_TABLE: dict[frozenset[str], str] = {
+    frozenset({HOURS, SIM_SECONDS}): SIM_SECONDS,
+    frozenset({SIM_SECONDS, BPS}): BITS,
+    frozenset({SIM_SECONDS, PER_SECOND}): COUNT,
+    frozenset({BYTES, BITS_PER_BYTE}): BITS,
+}
+
+
+def multiply(
+    left: "str | None", right: "str | None"
+) -> "tuple[str | None, str | None]":
+    """Result tag and violation note (or ``None``) for ``left * right``."""
+    for a, b in ((left, right), (right, left)):
+        if not is_concrete(a):
+            # A literal scales the other side; an unknown operand makes
+            # the product unknown (it may carry its own dimension).
+            if a == LITERAL:
+                return (b if is_concrete(b) else None), None
+            return None, None
+    assert left is not None and right is not None
+    if BYTES in (left, right) and BPS in (left, right):
+        return None, (
+            "multiplies bytes by bits/second; bytes must cross "
+            "BITS_PER_BYTE first (use transmission_time())"
+        )
+    if left in (RATIO, COUNT):
+        return right, None
+    if right in (RATIO, COUNT):
+        return left, None
+    result = _MUL_TABLE.get(frozenset({left, right}))
+    return result, None
+
+
+def divide(
+    left: "str | None", right: "str | None"
+) -> "tuple[str | None, str | None]":
+    """Result tag and violation note (or ``None``) for ``left / right``."""
+    if left == BYTES and right == BPS:
+        return None, (
+            "divides bytes by bits/second; the quotient is off by "
+            "BITS_PER_BYTE (use transmission_time())"
+        )
+    if is_concrete(left) and left == right:
+        return RATIO, None
+    if is_concrete(left) and not is_concrete(right):
+        # seconds / <literal or unknown scale> stays seconds only for
+        # literals; dividing by an unknown may change dimension.
+        return (left if right == LITERAL else None), None
+    quotients: dict[tuple[str, str], str] = {
+        (BITS, BPS): SIM_SECONDS,
+        (BITS, SIM_SECONDS): BPS,
+        (BITS, BITS_PER_BYTE): BYTES,
+        (COUNT, SIM_SECONDS): PER_SECOND,
+        (RATIO, PER_SECOND): SIM_SECONDS,
+        (COUNT, PER_SECOND): SIM_SECONDS,
+    }
+    if is_concrete(left) and is_concrete(right):
+        assert left is not None and right is not None
+        if right in (RATIO, COUNT):
+            return left, None
+        return quotients.get((left, right)), None
+    if left == LITERAL and right == PER_SECOND:
+        # 1 / rate: the mean gap in seconds.
+        return SIM_SECONDS, None
+    if left == LITERAL and is_concrete(right):
+        return None, None
+    return None, None
+
+
+def comparison_mismatch(left: "str | None", right: "str | None") -> bool:
+    """Whether ordering/equating ``left`` against ``right`` mixes units."""
+    return is_concrete(left) and is_concrete(right) and left != right

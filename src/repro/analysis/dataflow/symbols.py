@@ -1,0 +1,373 @@
+"""Per-module symbol tables and their project-wide linking.
+
+For every ``repro/`` module in the lint run this pass records, without
+executing anything:
+
+* **imports** — local name → dotted origin, so ``KBPS`` resolves to
+  ``repro._units.KBPS`` and ``units.HOUR`` through a module alias;
+* **module constants** — top-level assignments whose unit tag is known
+  from an alias annotation, the name heuristic, or the tag of the
+  right-hand side expression;
+* **functions** — parameter and return tags from annotations plus the
+  suffix heuristic;
+* **classes** — dataclass/attribute fields (annotated class body
+  entries and suffix-tagged ``self.x = ...`` writes), methods, and
+  ``@property`` return tags.
+
+Linking then builds three project-wide indexes that make cross-module
+propagation cheap: a *field index* (attribute name → tag, kept only
+when every declaring class agrees), a *property index*, and a *method
+index* (method name → signature, kept only when all declarations carry
+identical tag vectors).  Attribute reads and method calls anywhere in
+the tree resolve through these indexes, which is how a config knob
+declared in ``experiments/config.py`` keeps its unit at a consumption
+site in ``net/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import typing as t
+
+from repro.analysis.dataflow.lattice import Tag, UNIT_NAMES, tag_from_name
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.engine import FileContext
+
+
+@dataclasses.dataclass
+class FunctionSig:
+    """Unit-tag view of one function/method signature."""
+
+    name: str
+    #: Positional parameters in order (posonly + regular), incl. self.
+    positional: tuple[tuple[str, Tag], ...]
+    #: Every parameter reachable by keyword: name -> tag.
+    by_keyword: dict[str, Tag]
+    return_tag: Tag
+    is_method: bool = False
+
+    def tag_vector(self) -> tuple[object, ...]:
+        """Comparable identity used to merge same-named declarations."""
+        return (
+            tuple(tag for _, tag in self.positional),
+            tuple(sorted(self.by_keyword.items())),
+            self.return_tag,
+        )
+
+
+@dataclasses.dataclass
+class ClassTable:
+    name: str
+    fields: dict[str, Tag]
+    methods: dict[str, FunctionSig]
+    properties: dict[str, Tag]
+
+
+@dataclasses.dataclass
+class ModuleTable:
+    """Symbols of one parsed module."""
+
+    name: str
+    tree: ast.Module
+    ctx: "FileContext"
+    imports: dict[str, str]
+    constants: dict[str, Tag]
+    functions: dict[str, FunctionSig]
+    classes: dict[str, ClassTable]
+
+
+class ProjectTable:
+    """All module tables plus the cross-module indexes."""
+
+    def __init__(self, modules: dict[str, ModuleTable]) -> None:
+        self.modules = modules
+        self.field_index: dict[str, Tag] = {}
+        self.property_index: dict[str, Tag] = {}
+        self.method_index: dict[str, FunctionSig] = {}
+        self._link()
+
+    def _link(self) -> None:
+        field_tags: dict[str, set[Tag]] = {}
+        property_tags: dict[str, set[Tag]] = {}
+        method_sigs: dict[str, list[FunctionSig]] = {}
+        for module in self.modules.values():
+            for klass in module.classes.values():
+                for field, tag in klass.fields.items():
+                    field_tags.setdefault(field, set()).add(tag)
+                for prop, tag in klass.properties.items():
+                    property_tags.setdefault(prop, set()).add(tag)
+                for name, sig in klass.methods.items():
+                    method_sigs.setdefault(name, []).append(sig)
+        # An index entry survives only when every declaration agrees —
+        # an ambiguous name must never produce a finding.
+        for field, tags in field_tags.items():
+            if len(tags) == 1:
+                (tag,) = tags
+                if tag is not None:
+                    self.field_index[field] = tag
+        for prop, tags in property_tags.items():
+            if len(tags) == 1:
+                (tag,) = tags
+                if tag is not None:
+                    self.property_index[prop] = tag
+        for name, sigs in method_sigs.items():
+            vectors = {sig.tag_vector() for sig in sigs}
+            if len(vectors) == 1 and _sig_has_tags(sigs[0]):
+                self.method_index[name] = sigs[0]
+
+    # ------------------------------------------------------------------
+    def resolve(
+        self, module: ModuleTable, dotted: str
+    ) -> "FunctionSig | ClassTable | Tag":
+        """Resolve a dotted origin (``repro._units.KBPS``) to a symbol.
+
+        Returns a :class:`FunctionSig`, a :class:`ClassTable`, a
+        constant's tag string, or ``None`` when unresolvable.
+        """
+        owner, _, symbol = dotted.rpartition(".")
+        target = self.modules.get(owner)
+        if target is None or not symbol:
+            return None
+        if symbol in target.functions:
+            return target.functions[symbol]
+        if symbol in target.classes:
+            return target.classes[symbol]
+        if symbol in target.constants:
+            return target.constants[symbol]
+        return None
+
+
+def _sig_has_tags(sig: FunctionSig) -> bool:
+    if sig.return_tag is not None:
+        return True
+    return any(tag is not None for _, tag in sig.positional) or any(
+        tag is not None for tag in sig.by_keyword.values()
+    )
+
+
+# ----------------------------------------------------------------------
+# Annotation resolution
+# ----------------------------------------------------------------------
+def annotation_tag(node: ast.expr | None) -> Tag:
+    """The unit tag an annotation expression declares, if any.
+
+    Handles the ``repro._units`` aliases by name (``Seconds``,
+    ``units.Bytes``), inline ``Annotated[float, Unit("s")]`` forms,
+    ``Optional[...]`` / ``X | None`` wrappers, and string annotations.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval")
+        except SyntaxError:
+            return None
+        return annotation_tag(parsed.body)
+    if isinstance(node, ast.Name):
+        return UNIT_NAMES.get(node.id)
+    if isinstance(node, ast.Attribute):
+        return UNIT_NAMES.get(node.attr)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return annotation_tag(node.left) or annotation_tag(node.right)
+    if isinstance(node, ast.Subscript):
+        head = node.value
+        head_name = (
+            head.id
+            if isinstance(head, ast.Name)
+            else head.attr
+            if isinstance(head, ast.Attribute)
+            else ""
+        )
+        if head_name == "Annotated":
+            return _annotated_tag(node.slice)
+        if head_name == "Optional":
+            return annotation_tag(node.slice)
+        if head_name in ("Final", "ClassVar"):
+            return annotation_tag(node.slice)
+    return None
+
+
+def _annotated_tag(slice_node: ast.expr) -> Tag:
+    """``Annotated[float, Unit("s"), ...]`` → the Unit call's symbol."""
+    elements = (
+        list(slice_node.elts)
+        if isinstance(slice_node, ast.Tuple)
+        else [slice_node]
+    )
+    for element in elements:
+        if not isinstance(element, ast.Call):
+            continue
+        func = element.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else ""
+        )
+        if name == "Unit" and element.args:
+            arg = element.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                return arg.value
+    return None
+
+
+def declared_tag(name: str, annotation: ast.expr | None) -> Tag:
+    """Annotation tag if present, else the name heuristic."""
+    return annotation_tag(annotation) or tag_from_name(name)
+
+
+# ----------------------------------------------------------------------
+# Module table construction
+# ----------------------------------------------------------------------
+def module_dotted_name(rel_path: str) -> "str | None":
+    """``src/repro/net/channel.py`` → ``repro.net.channel``.
+
+    ``None`` for files outside a ``repro/`` package directory (tests,
+    scripts) — those are not part of the analyzed project.
+    """
+    parts = rel_path.split("/")
+    if "repro" not in parts[:-1] and parts[-1] != "repro.py":
+        return None
+    start = parts.index("repro")
+    tail = parts[start:]
+    if tail[-1].endswith(".py"):
+        tail[-1] = tail[-1][: -len(".py")]
+    if tail[-1] == "__init__":
+        tail = tail[:-1]
+    return ".".join(tail)
+
+
+def _signature(
+    node: "ast.FunctionDef | ast.AsyncFunctionDef", is_method: bool
+) -> FunctionSig:
+    args = node.args
+    positional: list[tuple[str, Tag]] = []
+    by_keyword: dict[str, Tag] = {}
+    for arg in list(args.posonlyargs) + list(args.args):
+        tag = declared_tag(arg.arg, arg.annotation)
+        positional.append((arg.arg, tag))
+        by_keyword[arg.arg] = tag
+    for arg in args.kwonlyargs:
+        by_keyword[arg.arg] = declared_tag(arg.arg, arg.annotation)
+    return FunctionSig(
+        name=node.name,
+        positional=tuple(positional),
+        by_keyword=by_keyword,
+        return_tag=annotation_tag(node.returns),
+        is_method=is_method,
+    )
+
+
+def _decorator_names(node: "ast.FunctionDef | ast.AsyncFunctionDef") -> set[str]:
+    names: set[str] = set()
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Name):
+            names.add(decorator.id)
+        elif isinstance(decorator, ast.Attribute):
+            names.add(decorator.attr)
+        elif isinstance(decorator, ast.Call):
+            func = decorator.func
+            if isinstance(func, ast.Name):
+                names.add(func.id)
+            elif isinstance(func, ast.Attribute):
+                names.add(func.attr)
+    return names
+
+
+def _build_class(node: ast.ClassDef) -> ClassTable:
+    fields: dict[str, Tag] = {}
+    methods: dict[str, FunctionSig] = {}
+    properties: dict[str, Tag] = {}
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            tag = declared_tag(stmt.target.id, stmt.annotation)
+            if tag is not None:
+                fields[stmt.target.id] = tag
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            decorators = _decorator_names(stmt)
+            if "property" in decorators or "cached_property" in decorators:
+                tag = annotation_tag(stmt.returns)
+                if tag is not None:
+                    properties[stmt.name] = tag
+                continue
+            methods[stmt.name] = _signature(stmt, is_method=True)
+            # Suffix-tagged `self.x = ...` writes double as field
+            # declarations (the channel's `self.bandwidth_bps` pattern).
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Assign):
+                    continue
+                for target in sub.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and target.attr not in fields
+                    ):
+                        tag = tag_from_name(target.attr)
+                        if tag is not None:
+                            fields[target.attr] = tag
+    return ClassTable(
+        name=node.name, fields=fields, methods=methods, properties=properties
+    )
+
+
+def build_module_table(
+    tree: ast.Module, ctx: "FileContext", name: str
+) -> ModuleTable:
+    imports: dict[str, str] = {}
+    constants: dict[str, Tag] = {}
+    functions: dict[str, FunctionSig] = {}
+    classes: dict[str, ClassTable] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                imports[local] = alias.name
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.module is None or stmt.level:
+                continue
+            for alias in stmt.names:
+                local = alias.asname or alias.name
+                imports[local] = f"{stmt.module}.{alias.name}"
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions[stmt.name] = _signature(stmt, is_method=False)
+        elif isinstance(stmt, ast.ClassDef):
+            classes[stmt.name] = _build_class(stmt)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            tag = declared_tag(stmt.target.id, stmt.annotation)
+            if tag is not None:
+                constants[stmt.target.id] = tag
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    tag = tag_from_name(target.id)
+                    if tag is not None:
+                        constants[target.id] = tag
+    return ModuleTable(
+        name=name,
+        tree=tree,
+        ctx=ctx,
+        imports=imports,
+        constants=constants,
+        functions=functions,
+        classes=classes,
+    )
+
+
+def build_project_table(
+    parsed: "t.Sequence[tuple[ast.Module, FileContext]]",
+) -> ProjectTable:
+    modules: dict[str, ModuleTable] = {}
+    for tree, ctx in parsed:
+        name = module_dotted_name(ctx.rel_path)
+        if name is None:
+            continue
+        modules[name] = build_module_table(tree, ctx, name)
+    return ProjectTable(modules)

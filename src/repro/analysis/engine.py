@@ -124,6 +124,26 @@ class ProjectRule(Rule):
         raise NotImplementedError
 
 
+class DataflowRule(Rule):
+    """A rule over the symbol-resolved unit-dataflow model.
+
+    Sibling to :class:`ProjectRule`, one level deeper: instead of raw
+    parsed files it receives a :class:`~repro.analysis.dataflow.DataflowModel`
+    — per-module symbol tables with imports resolved project-wide and
+    unit tags propagated through assignments, calls and returns (see
+    :mod:`repro.analysis.dataflow`).  The model is built once per lint
+    run and shared by every dataflow rule; the whole tier can be
+    disabled with ``lint_paths(..., dataflow=False)`` (the CLI's
+    ``--no-dataflow``).
+    """
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> t.Iterator[Finding]:
+        return iter(())
+
+    def check_dataflow(self, model: t.Any) -> t.Iterator[Finding]:
+        raise NotImplementedError
+
+
 _REGISTRY: dict[str, type[Rule]] = {}
 
 R = t.TypeVar("R", bound=type[Rule])
@@ -198,11 +218,14 @@ def lint_paths(
     select: t.Collection[str] | None = None,
     ignore: t.Collection[str] | None = None,
     root: Path | None = None,
+    dataflow: bool = True,
 ) -> list[Finding]:
     """Run every (selected) rule over every Python file under ``paths``.
 
     ``select`` restricts the run to the given rule ids; ``ignore`` drops
-    ids from whatever is selected.  Unparseable files surface as
+    ids from whatever is selected.  ``dataflow=False`` skips the
+    symbol-resolved unit-flow tier (:class:`DataflowRule` subclasses)
+    entirely — no model is built.  Unparseable files surface as
     :data:`PARSE_ERROR_ID` findings rather than crashing the run.
     """
     rules = all_rules()
@@ -218,9 +241,14 @@ def lint_paths(
         if unknown:
             raise ValueError(f"unknown rule ids ignored: {sorted(unknown)}")
         rules = [rule for rule in rules if rule.rule_id not in dropped]
+    if not dataflow:
+        rules = [r for r in rules if not isinstance(r, DataflowRule)]
 
-    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    file_rules = [
+        r for r in rules if not isinstance(r, (ProjectRule, DataflowRule))
+    ]
     project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    dataflow_rules = [r for r in rules if isinstance(r, DataflowRule)]
 
     findings: list[Finding] = []
     parsed: list[tuple[ast.Module, FileContext]] = []
@@ -253,13 +281,24 @@ def lint_paths(
             for finding in rule.check(tree, ctx):
                 if not _is_suppressed(finding, ctx.lines):
                     findings.append(finding)
-    if project_rules:
+    if project_rules or dataflow_rules:
         lines_by_path = {ctx.rel_path: ctx.lines for _, ctx in parsed}
         for rule in project_rules:
             for finding in rule.check_project(parsed):
                 lines = lines_by_path.get(finding.path, [])
                 if not _is_suppressed(finding, lines):
                     findings.append(finding)
+        if dataflow_rules:
+            # Imported lazily: the dataflow package depends on this
+            # module, and per-file-only runs should not pay for it.
+            from repro.analysis.dataflow import build_model
+
+            model = build_model(parsed)
+            for rule in dataflow_rules:
+                for finding in rule.check_dataflow(model):
+                    lines = lines_by_path.get(finding.path, [])
+                    if not _is_suppressed(finding, lines):
+                        findings.append(finding)
     findings.sort()
     return findings
 

@@ -12,6 +12,7 @@ from repro.analysis.rules import (  # noqa: F401
     ordering,
     randomness,
     taxonomy,
+    units,
     wallclock,
 )
 
@@ -22,5 +23,6 @@ __all__ = [
     "ordering",
     "randomness",
     "taxonomy",
+    "units",
     "wallclock",
 ]

@@ -1,0 +1,97 @@
+"""REP011–REP015 — the unit/dimension dataflow rule set.
+
+All five run over the shared :class:`~repro.analysis.dataflow.DataflowModel`
+(one symbol-resolution + inference pass per lint run) and differ only in
+which diagnostic kind they surface:
+
+========  =======================================================
+REP011    arithmetic mixing incompatible units (``bytes + seconds``,
+          ``bytes * bps`` without ``transmission_time``)
+REP012    wall-clock seconds flowing into a sim-time parameter
+REP013    magic bandwidth/size/horizon literals outside ``_units.py``
+REP014    quantity declared with one unit, consumed as another (call
+          arguments, annotated assignments, returns — config knobs
+          crossing modules are the motivating case)
+REP015    ordering/equality comparison of differently-tagged values
+========  =======================================================
+
+Tags come from the ``repro._units`` aliases, inline
+``Annotated[..., Unit(...)]`` forms and the ``*_seconds``/``*_bytes``/
+``*_bps``/``*_rate`` name heuristic; anything untagged never produces
+a finding, so unannotated code is silent, not noisy.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.analysis.dataflow import DataflowModel
+from repro.analysis.dataflow.infer import (
+    KIND_ARITHMETIC,
+    KIND_COMPARISON,
+    KIND_DECLARED_MISMATCH,
+    KIND_MAGIC_LITERAL,
+    KIND_WALL_INTO_SIM,
+)
+from repro.analysis.engine import DataflowRule, Finding, register_rule
+
+
+class _DiagnosticRule(DataflowRule):
+    """Shared shape: surface one diagnostic kind as findings."""
+
+    kind: str = ""
+
+    def check_dataflow(self, model: t.Any) -> t.Iterator[Finding]:
+        assert isinstance(model, DataflowModel)
+        for diag in model.of_kind(self.kind):
+            yield Finding(
+                path=diag.path,
+                line=diag.line,
+                col=diag.col,
+                rule_id=self.rule_id,
+                message=diag.message,
+            )
+
+
+@register_rule
+class IncompatibleUnitArithmetic(_DiagnosticRule):
+    rule_id = "REP011"
+    title = (
+        "arithmetic mixes incompatible units (bytes + seconds, "
+        "bytes * bps without transmission_time)"
+    )
+    kind = KIND_ARITHMETIC
+
+
+@register_rule
+class WallClockIntoSimTime(_DiagnosticRule):
+    rule_id = "REP012"
+    title = "wall-clock reading flows into a sim-time parameter"
+    kind = KIND_WALL_INTO_SIM
+
+
+@register_rule
+class MagicUnitLiteral(_DiagnosticRule):
+    rule_id = "REP013"
+    title = (
+        "magic bandwidth/size/horizon literal; use the repro._units "
+        "constants"
+    )
+    kind = KIND_MAGIC_LITERAL
+
+
+@register_rule
+class DeclaredUnitMismatch(_DiagnosticRule):
+    rule_id = "REP014"
+    title = (
+        "quantity declared with one unit but consumed as another "
+        "(config knobs crossing modules included)"
+    )
+    kind = KIND_DECLARED_MISMATCH
+
+
+@register_rule
+class IncompatibleUnitComparison(_DiagnosticRule):
+    rule_id = "REP015"
+    title = "comparison of quantities carrying different unit tags"
+    kind = KIND_COMPARISON

@@ -203,7 +203,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint_parser = sub.add_parser(
         "lint",
-        help="run the determinism lint (REP rules) over Python sources",
+        help="run the determinism + unit-dataflow lint (REP rules) "
+             "over Python sources",
+        description="Exit codes: 0 = clean, 1 = violations found, "
+                    "2 = parse/config error (unreadable or "
+                    "syntactically broken file [REP000], unknown rule "
+                    "id).",
     )
     lint_parser.add_argument("paths", nargs="*", default=["src"],
                              help="files or directories (default: src)")
@@ -214,6 +219,9 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "(default: all)")
     lint_parser.add_argument("--ignore", default=None, metavar="IDS",
                              help="comma-separated rule ids to skip")
+    lint_parser.add_argument("--no-dataflow", action="store_true",
+                             help="skip the symbol-resolved unit-flow "
+                                  "tier (REP011-REP015)")
     lint_parser.add_argument("--list-rules", action="store_true",
                              help="print the rule catalogue and exit")
     return parser
@@ -301,6 +309,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import all_rules, lint_paths, render_json, render_text
+    from repro.analysis.engine import PARSE_ERROR_ID
 
     if args.list_rules:
         for rule in all_rules():
@@ -309,7 +318,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     select = args.select.split(",") if args.select else None
     ignore = args.ignore.split(",") if args.ignore else None
     try:
-        findings = lint_paths(args.paths, select=select, ignore=ignore)
+        findings = lint_paths(
+            args.paths,
+            select=select,
+            ignore=ignore,
+            dataflow=not args.no_dataflow,
+        )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -317,6 +331,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(render_json(findings))
     else:
         print(render_text(findings))
+    # Exit-code contract (asserted by the CLI tests): 2 = the lint
+    # itself could not do its job (unparseable input), 1 = rule
+    # violations, 0 = clean.  CI failures are attributable at a glance.
+    if any(f.rule_id == PARSE_ERROR_ID for f in findings):
+        return 2
     return 1 if findings else 0
 
 

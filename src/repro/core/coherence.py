@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 import typing as t
 
+from repro._units import Seconds
 from repro.core.entry import NEVER_EXPIRES
 from repro.sim.monitor import Tally
 
@@ -45,14 +46,14 @@ class WriteIntervalStats:
     def interval_count(self) -> int:
         return self._tally.count
 
-    def record_write(self, now: float) -> None:
+    def record_write(self, now: Seconds) -> None:
         """Register a write; the gap since the previous write is sampled."""
         if self._last_write is not None:
             self._tally.record(max(0.0, now - self._last_write))
         self._last_write = now
         self._cached = None
 
-    def refresh_time(self, beta: float) -> float:
+    def refresh_time(self, beta: float) -> Seconds:
         """``mean + beta * std`` of the write gaps, clamped at zero.
 
         With fewer than one complete gap there is no basis for an
@@ -81,20 +82,20 @@ class RefreshTimeEstimator:
     def __repr__(self) -> str:
         return f"<RefreshTimeEstimator beta={self.beta} items={len(self._stats)}>"
 
-    def record_write(self, item: t.Hashable, now: float) -> None:
+    def record_write(self, item: t.Hashable, now: Seconds) -> None:
         stats = self._stats.get(item)
         if stats is None:
             stats = self._stats[item] = WriteIntervalStats()
         stats.record_write(now)
 
-    def refresh_time(self, item: t.Hashable) -> float:
+    def refresh_time(self, item: t.Hashable) -> Seconds:
         """Validity duration for ``item`` under the configured beta."""
         stats = self._stats.get(item)
         if stats is None:
             return NEVER_EXPIRES
         return stats.refresh_time(self.beta)
 
-    def expiry_deadline(self, item: t.Hashable, now: float) -> float:
+    def expiry_deadline(self, item: t.Hashable, now: Seconds) -> Seconds:
         """Absolute expiry time for a value of ``item`` fetched at ``now``."""
         refresh = self.refresh_time(item)
         if math.isinf(refresh):

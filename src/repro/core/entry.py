@@ -6,11 +6,12 @@ import dataclasses
 import math
 import typing as t
 
+from repro._units import Seconds
 from repro.core.granularity import CacheKey
 
 #: Refresh deadline for items with no usable write history: they stay
 #: valid forever until the server ships a finite refresh time.
-NEVER_EXPIRES = math.inf
+NEVER_EXPIRES: Seconds = math.inf
 
 
 @dataclasses.dataclass
@@ -28,8 +29,8 @@ class CacheEntry:
     value: t.Any
     version: int
     size_bytes: int
-    fetched_at: float
-    expires_at: float = NEVER_EXPIRES
+    fetched_at: Seconds
+    expires_at: Seconds = NEVER_EXPIRES
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
@@ -37,7 +38,7 @@ class CacheEntry:
                 f"entry {self.key!r} must have positive size"
             )
 
-    def is_valid(self, now: float) -> bool:
+    def is_valid(self, now: Seconds) -> bool:
         """Whether the refresh time has not yet expired."""
         return now <= self.expires_at
 
@@ -45,8 +46,8 @@ class CacheEntry:
         self,
         value: t.Any,
         version: int,
-        now: float,
-        expires_at: float,
+        now: Seconds,
+        expires_at: Seconds,
     ) -> None:
         """Overwrite with a freshly fetched value and refresh deadline."""
         self.value = value

@@ -11,7 +11,16 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro._units import HOUR, KBPS, MBPS
+from repro._units import (
+    Bps,
+    HOUR,
+    Hours,
+    KBPS,
+    MBPS,
+    PerSecond,
+    Ratio,
+    Seconds,
+)
 from repro.errors import ConfigurationError
 
 #: Heat pattern labels accepted by :attr:`SimulationConfig.heat`.
@@ -37,10 +46,10 @@ class SimulationConfig:
     query_kind: str = "AQ"
     arrival: str = "poisson"
     heat: str = "SH"
-    update_probability: float = 0.1
+    update_probability: Ratio = 0.1
     beta: float = 0.0
     disconnected_clients: int = 0
-    disconnection_hours: float = 0.0
+    disconnection_hours: Hours = 0.0
 
     # -- population and sizing (Section 4) ------------------------------
     num_clients: int = 10
@@ -54,14 +63,14 @@ class SimulationConfig:
     objects_per_page: int = 4
 
     # -- rates and bandwidths --------------------------------------------
-    arrival_rate: float = 0.01
-    wireless_bps: float = 19.2 * KBPS
-    disk_bps: float = 40 * MBPS
-    memory_bps: float = 100 * MBPS
+    arrival_rate: PerSecond = 0.01
+    wireless_bps: Bps = 19.2 * KBPS
+    disk_bps: Bps = 40 * MBPS
+    memory_bps: Bps = 100 * MBPS
 
     # -- workload shape ----------------------------------------------------
-    hot_fraction: float = 0.2
-    hot_access_probability: float = 0.8
+    hot_fraction: Ratio = 0.2
+    hot_access_probability: Ratio = 0.8
     csh_change_every: int = 500
     cyclic_scan_fraction: float = 0.3
     #: Every Nth query of the ``scan`` heat is a full sequential scan.
@@ -92,7 +101,7 @@ class SimulationConfig:
     #: reference [2] ("invalidation-report").
     coherence: str = "refresh-time"
     #: Broadcast period of the invalidation-report baseline (seconds).
-    ir_interval_seconds: float = 1000.0
+    ir_interval_seconds: Seconds = 1000.0
 
     # -- network faults / recovery (Experiment #7) -----------------------
     #: Per-message drop probability on every wireless channel (0 = off).
@@ -104,11 +113,11 @@ class SimulationConfig:
     #: Per-message BAD -> GOOD transition probability.
     burst_off_probability: float = 0.0
     #: Reply-wait timeout before a retry / degradation (0 = no recovery).
-    request_timeout_seconds: float = 0.0
+    request_timeout_seconds: Seconds = 0.0
     #: Re-sends allowed after the first attempt times out.
     retry_budget: int = 0
     #: First backoff delay; grows by ``backoff_multiplier`` per attempt.
-    backoff_base_seconds: float = 1.0
+    backoff_base_seconds: Seconds = 1.0
     backoff_multiplier: float = 2.0
     #: Uniform jitter fraction added on top of each backoff delay.
     backoff_jitter: float = 0.5
@@ -123,7 +132,7 @@ class SimulationConfig:
     #: Collect the per-bucket age-at-read series (exp5/exp6 dynamics).
     staleness_timeline: bool = False
     #: Bucket width of the staleness timeline (simulated seconds).
-    staleness_bucket_seconds: float = 1800.0
+    staleness_bucket_seconds: Seconds = 0.5 * HOUR
     #: Attach the scheduling-race auditor to the kernel: record
     #: same-(time, priority) event ties and the order-insensitive trace
     #: fingerprint (see :mod:`repro.analysis.audit`).
@@ -133,7 +142,7 @@ class SimulationConfig:
     invariants: bool = False
 
     # -- run control -------------------------------------------------------
-    horizon_hours: float = 96.0
+    horizon_hours: Hours = 96.0
     seed: int = 42
 
     def __post_init__(self) -> None:
@@ -291,11 +300,11 @@ class SimulationConfig:
 
     # ------------------------------------------------------------------
     @property
-    def horizon_seconds(self) -> float:
+    def horizon_seconds(self) -> Seconds:
         return self.horizon_hours * HOUR
 
     @property
-    def disconnection_seconds(self) -> float:
+    def disconnection_seconds(self) -> Seconds:
         return self.disconnection_hours * HOUR
 
     @property

@@ -19,6 +19,7 @@ import dataclasses
 import os
 import typing as t
 
+from repro._units import Bytes, Hours, Ratio, Seconds, WallSeconds
 from repro.experiments.config import SimulationConfig
 from repro.experiments.parallel import (
     ParallelExecutor,
@@ -27,12 +28,12 @@ from repro.experiments.parallel import (
 )
 
 #: The paper's horizon (hours).
-FULL_HORIZON_HOURS = 96.0
+FULL_HORIZON_HOURS: Hours = 96.0
 #: Default reduced horizon for benchmarks and smoke runs.
-FAST_HORIZON_HOURS = 8.0
+FAST_HORIZON_HOURS: Hours = 8.0
 
 
-def default_horizon_hours() -> float:
+def default_horizon_hours() -> Hours:
     """Choose the horizon: paper scale iff ``REPRO_FULL=1`` is set."""
     if os.environ.get("REPRO_FULL", "") == "1":
         return FULL_HORIZON_HOURS
@@ -44,14 +45,14 @@ class ExperimentRow:
     """One completed run: its dimensions plus the three metrics."""
 
     dims: dict[str, t.Any]
-    hit_ratio: float
-    response_time: float
-    error_rate: float
+    hit_ratio: Ratio
+    response_time: Seconds
+    error_rate: Ratio
     queries: int
-    disconnected_error_rate: float = 0.0
+    disconnected_error_rate: Ratio = 0.0
     #: Bytes of request messages that entered the uplink (the paper's
     #: scarce resource; the third headline metric of scenario reports).
-    uplink_bytes: float = 0.0
+    uplink_bytes: Bytes = 0.0
     # -- fault-injection / recovery counters (Experiment #7) ------------
     drops: int = 0
     retries: int = 0
@@ -62,7 +63,7 @@ class ExperimentRow:
     event_counts: dict[str, int] = dataclasses.field(default_factory=dict)
     #: Wall-clock cost of the run (not a simulation output; excluded
     #: from result-equivalence comparisons).
-    elapsed_seconds: float = dataclasses.field(default=0.0, compare=False)
+    elapsed_seconds: WallSeconds = dataclasses.field(default=0.0, compare=False)
 
     def dim(self, name: str) -> t.Any:
         return self.dims[name]

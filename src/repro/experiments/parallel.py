@@ -45,6 +45,7 @@ import traceback
 import typing as t
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
+from repro._units import WallSeconds
 from repro.errors import SimulationError
 from repro.experiments.config import SimulationConfig
 from repro.sim.rand import spawn_seed
@@ -121,7 +122,7 @@ class RunOutcome:
     index: int
     dims: dict[str, t.Any]
     label: str
-    elapsed_seconds: float
+    elapsed_seconds: WallSeconds
     result: t.Any = None
     error: str | None = None
 

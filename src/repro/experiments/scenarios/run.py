@@ -30,6 +30,7 @@ import dataclasses
 import json
 import typing as t
 
+from repro._units import HOUR
 from repro.errors import StatisticsError
 from repro.experiments.parallel import (
     ParallelExecutor,
@@ -298,7 +299,7 @@ def run_scenario(
         extra_base=base or None,
     )
     # Fail fast on a window that cannot hold any samples.
-    warmup_window(plan.horizon_hours * 3600.0, warmup)
+    warmup_window(plan.horizon_hours * HOUR, warmup)
     executor = ParallelExecutor(jobs=jobs, progress=progress)
     outcomes = executor.run(scenario.name, plan.descriptors())
     return collect_outcomes(

@@ -30,6 +30,7 @@ import dataclasses
 import math
 import typing as t
 
+from repro._units import Ratio, Seconds
 from repro.errors import StatisticsError
 
 # -- Student-t critical values (no scipy) ------------------------------
@@ -148,8 +149,8 @@ def t_critical(df: int, confidence: float = 0.95) -> float:
 
 
 def warmup_window(
-    horizon_seconds: float, warmup_fraction: float
-) -> tuple[float, float]:
+    horizon_seconds: Seconds, warmup_fraction: Ratio
+) -> tuple[Seconds, Seconds]:
     """The measurement window ``[start, end)`` after warm-up truncation.
 
     Raises :class:`StatisticsError` when the warm-up swallows the whole

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro._units import Bytes, HOUR, Ratio, Seconds
 from repro.metrics.timeseries import BucketedRatio, BucketedTally
 from repro.obs.bus import EventBus
 from repro.obs.events import (
@@ -32,7 +33,7 @@ from repro.obs.events import (
 from repro.sim.monitor import RatioCounter, Tally
 
 #: Bucket width of the per-client hit-ratio time series (seconds).
-DEFAULT_SERIES_BUCKET = 1800.0
+DEFAULT_SERIES_BUCKET: Seconds = 0.5 * HOUR
 
 
 class ClientMetrics:
@@ -89,7 +90,7 @@ class ClientMetrics:
         is_error: bool,
         answered: bool = True,
         connected: bool = True,
-        now: "float | None" = None,
+        now: "Seconds | None" = None,
     ) -> None:
         """One attribute access: hit/miss plus error-oracle outcome.
 
@@ -111,9 +112,9 @@ class ClientMetrics:
 
     def record_query(
         self,
-        response_time: float,
+        response_time: Seconds,
         connected: bool,
-        now: "float | None" = None,
+        now: "Seconds | None" = None,
     ) -> None:
         self.queries += 1
         self.response.record(response_time)
@@ -226,9 +227,9 @@ class SummaryRow:
     """One aggregated result line, as printed in reports."""
 
     label: str
-    hit_ratio: float
-    response_time: float
-    error_rate: float
+    hit_ratio: Ratio
+    response_time: Seconds
+    error_rate: Ratio
     queries: int
 
     def formatted(self) -> str:
@@ -274,20 +275,20 @@ class MetricsSummary:
         )
 
     @property
-    def hit_ratio(self) -> float:
+    def hit_ratio(self) -> Ratio:
         return self.hit.ratio
 
     @property
-    def error_rate(self) -> float:
+    def error_rate(self) -> Ratio:
         return self.error.ratio
 
     @property
-    def disconnected_error_rate(self) -> float:
+    def disconnected_error_rate(self) -> Ratio:
         """Error share of value-consuming reads made while disconnected."""
         return self.disconnected_error.ratio
 
     @property
-    def response_time(self) -> float:
+    def response_time(self) -> Seconds:
         """Mean response time across all queries of all clients."""
         return self.response.mean
 
@@ -321,7 +322,7 @@ class MetricsSummary:
         return sum(client.lost_updates for client in self.clients)
 
     @property
-    def total_goodput_bytes(self) -> float:
+    def total_goodput_bytes(self) -> Bytes:
         return sum(client.goodput_bytes for client in self.clients)
 
     @property

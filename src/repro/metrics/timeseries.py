@@ -10,11 +10,13 @@ every access.
 
 from __future__ import annotations
 
+from repro._units import Ratio, Seconds
+
 
 class BucketedRatio:
     """Per-time-bucket success ratios (e.g. hit ratio over time)."""
 
-    def __init__(self, bucket_seconds: float, name: str = "series") -> None:
+    def __init__(self, bucket_seconds: Seconds, name: str = "series") -> None:
         if bucket_seconds <= 0:
             raise ValueError(
                 f"bucket width must be positive, got {bucket_seconds!r}"
@@ -30,7 +32,7 @@ class BucketedRatio:
             f"width={self.bucket_seconds:g}s>"
         )
 
-    def record(self, now: float, success: bool) -> None:
+    def record(self, now: Seconds, success: bool) -> None:
         if now < 0:
             raise ValueError(f"negative sample time: {now!r}")
         bucket = int(now // self.bucket_seconds)
@@ -47,7 +49,7 @@ class BucketedRatio:
             out.append((bucket * self.bucket_seconds, hits / total, total))
         return out
 
-    def ratio_between(self, start: float, end: float) -> float:
+    def ratio_between(self, start: Seconds, end: Seconds) -> Ratio:
         """Aggregate ratio over [start, end) (0.0 if no samples)."""
         hits = 0
         total = 0
@@ -58,7 +60,7 @@ class BucketedRatio:
                 hits += self._hits.get(bucket, 0)
         return hits / total if total else 0.0
 
-    def samples_between(self, start: float, end: float) -> int:
+    def samples_between(self, start: Seconds, end: Seconds) -> int:
         """Sample count over [start, end), by bucket start time.
 
         The window test matches :meth:`ratio_between`, so a caller can
@@ -117,7 +119,7 @@ class BucketedTally:
     aggregations warm-up truncation needs — stay exact and cheap.
     """
 
-    def __init__(self, bucket_seconds: float, name: str = "tally") -> None:
+    def __init__(self, bucket_seconds: Seconds, name: str = "tally") -> None:
         if bucket_seconds <= 0:
             raise ValueError(
                 f"bucket width must be positive, got {bucket_seconds!r}"
@@ -133,7 +135,7 @@ class BucketedTally:
             f"width={self.bucket_seconds:g}s>"
         )
 
-    def record(self, now: float, value: float) -> None:
+    def record(self, now: Seconds, value: float) -> None:
         if now < 0:
             raise ValueError(f"negative sample time: {now!r}")
         bucket = int(now // self.bucket_seconds)
@@ -151,7 +153,7 @@ class BucketedTally:
             for bucket in sorted(self._counts)
         ]
 
-    def samples_between(self, start: float, end: float) -> int:
+    def samples_between(self, start: Seconds, end: Seconds) -> int:
         """Sample count over [start, end), by bucket start time."""
         return sum(
             count
@@ -159,7 +161,7 @@ class BucketedTally:
             if start <= bucket * self.bucket_seconds < end
         )
 
-    def sum_between(self, start: float, end: float) -> float:
+    def sum_between(self, start: Seconds, end: Seconds) -> float:
         """Total of all values recorded in [start, end)."""
         return sum(
             total
@@ -167,7 +169,7 @@ class BucketedTally:
             if start <= bucket * self.bucket_seconds < end
         )
 
-    def mean_between(self, start: float, end: float) -> float:
+    def mean_between(self, start: Seconds, end: Seconds) -> float:
         """Mean value over [start, end) (0.0 if no samples)."""
         count = self.samples_between(start, end)
         return self.sum_between(start, end) / count if count else 0.0

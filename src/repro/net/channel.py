@@ -26,7 +26,14 @@ from __future__ import annotations
 
 import typing as t
 
-from repro._units import KBPS, transmission_time
+from repro._units import (
+    Bps,
+    Bytes,
+    KBPS,
+    Ratio,
+    Seconds,
+    transmission_time,
+)
 from repro.errors import NetworkError
 from repro.net.faults import FaultInjector
 from repro.obs.bus import EventBus
@@ -39,7 +46,7 @@ from repro.sim.environment import Environment
 from repro.sim.resources import Resource
 
 #: The paper's wireless bandwidth per channel.
-WIRELESS_BANDWIDTH_BPS = 19.2 * KBPS
+WIRELESS_BANDWIDTH_BPS: Bps = 19.2 * KBPS
 
 #: Transmission outcomes returned by :meth:`WirelessChannel.transmit`
 #: (shared with :mod:`repro.obs.events`' TransmitOutcome.outcome).
@@ -60,13 +67,13 @@ class ChannelStats:
     def __init__(self, channel: str) -> None:
         self.channel = channel
         #: Bytes whose airtime completed (delivered *or* corrupted).
-        self.bytes_carried = 0.0
+        self.bytes_carried: Bytes = 0.0
         self.messages_carried = 0
         #: Goodput: bytes of messages that actually reached the receiver.
-        self.bytes_delivered = 0.0
+        self.bytes_delivered: Bytes = 0.0
         self.messages_dropped = 0
         #: Partial airtime of transmissions cut mid-air.
-        self.bytes_aborted = 0.0
+        self.bytes_aborted: Bytes = 0.0
         self.messages_aborted = 0
 
     def attach(self, bus: EventBus) -> "ChannelStats":
@@ -94,7 +101,7 @@ class WirelessChannel:
     def __init__(
         self,
         env: Environment,
-        bandwidth_bps: float = WIRELESS_BANDWIDTH_BPS,
+        bandwidth_bps: Bps = WIRELESS_BANDWIDTH_BPS,
         name: str = "channel",
         injector: FaultInjector | None = None,
         bus: EventBus | None = None,
@@ -119,7 +126,7 @@ class WirelessChannel:
 
     # -- accounting views (delegating to the bus-fed stats) -------------
     @property
-    def bytes_carried(self) -> float:
+    def bytes_carried(self) -> Bytes:
         return self.stats.bytes_carried
 
     @property
@@ -127,7 +134,7 @@ class WirelessChannel:
         return self.stats.messages_carried
 
     @property
-    def bytes_delivered(self) -> float:
+    def bytes_delivered(self) -> Bytes:
         return self.stats.bytes_delivered
 
     @property
@@ -135,7 +142,7 @@ class WirelessChannel:
         return self.stats.messages_dropped
 
     @property
-    def bytes_aborted(self) -> float:
+    def bytes_aborted(self) -> Bytes:
         return self.stats.bytes_aborted
 
     @property
@@ -147,12 +154,12 @@ class WirelessChannel:
         """Messages currently waiting behind the one in flight."""
         return self._facility.queue_length
 
-    def transmission_time(self, size_bytes: float) -> float:
+    def transmission_time(self, size_bytes: Bytes) -> Seconds:
         """Airtime for a message of ``size_bytes``."""
         return transmission_time(size_bytes, self.bandwidth_bps)
 
     def transmit(
-        self, size_bytes: float, deadline: float | None = None
+        self, size_bytes: Bytes, deadline: Seconds | None = None
     ) -> t.Generator[t.Any, t.Any, str]:
         """Occupy the channel for one message (``yield from`` this).
 
@@ -204,7 +211,7 @@ class WirelessChannel:
         return DELIVERED
 
     def _account_abort(
-        self, size_bytes: float, airtime: float, started: float
+        self, size_bytes: Bytes, airtime: Seconds, started: Seconds
     ) -> None:
         elapsed = self.env.now - started
         bytes_on_air = (
@@ -223,6 +230,6 @@ class WirelessChannel:
         if self.injector is not None:
             self.injector.note_abort(self.env.now, size_bytes)
 
-    def utilization(self) -> float:
+    def utilization(self) -> Ratio:
         """Fraction of elapsed time the channel has been busy."""
         return self._facility.utilization()

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import time
 
+from repro._units import WallSeconds
+
 
 def bucket_for(name: str) -> str:
     """Collapse a process name into its subsystem bucket.
@@ -43,12 +45,12 @@ class WallClockProfiler:
             f"total={sum(self.seconds.values()):.3f}s>"
         )
 
-    def record(self, name: str, elapsed: float) -> None:
+    def record(self, name: str, elapsed: WallSeconds) -> None:
         bucket = bucket_for(name)
         self.seconds[bucket] = self.seconds.get(bucket, 0.0) + elapsed
         self.calls[bucket] = self.calls.get(bucket, 0) + 1
 
-    def clock(self) -> float:
+    def clock(self) -> WallSeconds:
         """The profiler's time source (``perf_counter``)."""
         return self._clock()
 

@@ -28,6 +28,7 @@ import typing as t
 from collections import deque
 from itertools import count
 
+from repro._units import Seconds
 from repro.errors import SchedulingError, SimulationError, StopSimulation
 from repro.sim.events import AllOf, AnyOf, Event, NORMAL, Timeout
 from repro.sim.process import Process, ProcessGenerator
@@ -93,7 +94,7 @@ class Environment:
         return f"<Environment now={self._now!r} pending={self._live}>"
 
     @property
-    def now(self) -> float:
+    def now(self) -> Seconds:
         """Current simulated time in seconds."""
         return self._now
 
@@ -109,7 +110,7 @@ class Environment:
         """Create a new untriggered event bound to this environment."""
         return Event(self)
 
-    def timeout(self, delay: float, value: t.Any = None) -> Timeout:
+    def timeout(self, delay: Seconds, value: t.Any = None) -> Timeout:
         """Create an event firing ``delay`` seconds from now."""
         return Timeout(self, delay, value)
 
@@ -131,7 +132,7 @@ class Environment:
     # Scheduling and the run loop
     # ------------------------------------------------------------------
     def schedule(
-        self, event: Event, delay: float = 0.0, priority: int = NORMAL
+        self, event: Event, delay: Seconds = 0.0, priority: int = NORMAL
     ) -> None:
         """Queue ``event`` to be processed ``delay`` seconds from now."""
         if delay < 0:
@@ -251,7 +252,7 @@ class Environment:
                 continue
             return time, priority, event
 
-    def peek(self) -> float:
+    def peek(self) -> Seconds:
         """Time of the next live event, or ``inf`` when none is queued."""
         head = self._peek_entry()
         return head[0] if head is not None else float("inf")
@@ -288,7 +289,7 @@ class Environment:
             # silently").
             raise t.cast(BaseException, event.value)
 
-    def run(self, until: "float | Event | None" = None) -> t.Any:
+    def run(self, until: "Seconds | Event | None" = None) -> t.Any:
         """Run the simulation.
 
         ``until`` may be:

@@ -19,19 +19,19 @@ import abc
 import dataclasses
 import typing as t
 
-from repro._units import DAY, HOUR
+from repro._units import DAY, HOUR, Hours, PerSecond, Seconds
 from repro.errors import ConfigurationError
 from repro.sim.rand import RandomStream
 
 #: The paper's mean arrival rate per client (queries per second).
-DEFAULT_ARRIVAL_RATE = 0.01
+DEFAULT_ARRIVAL_RATE: PerSecond = 0.01
 
 
 class ArrivalProcess(abc.ABC):
     """Generates successive query inter-arrival gaps."""
 
     @abc.abstractmethod
-    def next_interarrival(self, now: float) -> float:
+    def next_interarrival(self, now: Seconds) -> Seconds:
         """Seconds until the next query, given the current time."""
 
     def describe(self) -> str:
@@ -42,14 +42,14 @@ class PoissonArrival(ArrivalProcess):
     """Homogeneous Poisson arrivals."""
 
     def __init__(
-        self, rng: RandomStream, rate: float = DEFAULT_ARRIVAL_RATE
+        self, rng: RandomStream, rate: PerSecond = DEFAULT_ARRIVAL_RATE
     ) -> None:
         if rate <= 0:
             raise ConfigurationError(f"rate must be positive, got {rate!r}")
         self.rate = float(rate)
         self._rng = rng
 
-    def next_interarrival(self, now: float) -> float:
+    def next_interarrival(self, now: Seconds) -> Seconds:
         return self._rng.exponential(1.0 / self.rate)
 
     def describe(self) -> str:
@@ -60,9 +60,9 @@ class PoissonArrival(ArrivalProcess):
 class RatePeriod:
     """One constant-rate stretch of the daily profile: [start, end) hours."""
 
-    start_hour: float
-    end_hour: float
-    rate: float
+    start_hour: Hours
+    end_hour: Hours
+    rate: PerSecond
 
     def __post_init__(self) -> None:
         if not 0 <= self.start_hour < self.end_hour <= 24:
@@ -108,7 +108,7 @@ class BurstyArrival(ArrivalProcess):
         self.profile = tuple(ordered)
         self._rng = rng
 
-    def rate_at(self, now: float) -> float:
+    def rate_at(self, now: Seconds) -> PerSecond:
         """Arrival rate in effect at absolute time ``now`` (seconds)."""
         hour_of_day = (now % DAY) / HOUR
         for period in self.profile:
@@ -117,16 +117,16 @@ class BurstyArrival(ArrivalProcess):
         # hour 24.0 wraps to 0.0, so this is unreachable; guard anyway.
         return self.profile[-1].rate
 
-    def _boundary_after(self, now: float) -> float:
+    def _boundary_after(self, now: Seconds) -> Seconds:
         """Absolute time of the next period boundary strictly after now."""
         day_start = (now // DAY) * DAY
         hour_of_day = (now - day_start) / HOUR
         for period in self.profile:
-            if hour_of_day < period.end_hour:
+            if hour_of_day < period.end_hour:  # repro: noqa REP015 -- hours conversion
                 return day_start + period.end_hour * HOUR
         return day_start + DAY
 
-    def next_interarrival(self, now: float) -> float:
+    def next_interarrival(self, now: Seconds) -> Seconds:
         cursor = now
         while True:
             rate = self.rate_at(cursor)

@@ -1,0 +1,93 @@
+"""The ``repro lint`` exit-code contract and dataflow-tier flags.
+
+The contract CI relies on: 0 = clean, 1 = rule violations, 2 = the lint
+itself could not do its job (unparseable input, unknown rule ids).  A
+2 must never be mistaken for "the tree has findings" — it means the
+report is incomplete.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """tree({"repro/core/mod.py": src, ...}) -> lintable directory path."""
+
+    def _write(files):
+        for rel_path, source in files.items():
+            target = tmp_path / rel_path
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source))
+        return str(tmp_path)
+
+    return _write
+
+
+CLEAN = (
+    "def total(a_seconds: float, b_seconds: float) -> float:\n"
+    "    return a_seconds + b_seconds\n"
+)
+MIXED = (
+    "def total(a_seconds: float, b_bytes: float) -> float:\n"
+    "    return a_seconds + b_bytes\n"
+)
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tree, capsys):
+        root = tree({"repro/core/mod.py": CLEAN})
+        assert main(["lint", root]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, tree, capsys):
+        root = tree({"repro/core/mod.py": MIXED})
+        assert main(["lint", root]) == 1
+        assert "REP011" in capsys.readouterr().out
+
+    def test_unparseable_input_exits_two(self, tree, capsys):
+        root = tree({"repro/core/mod.py": "def broken(:\n"})
+        assert main(["lint", root]) == 2
+        assert "REP000" in capsys.readouterr().out
+
+    def test_parse_error_beats_violations(self, tree, capsys):
+        # A tree with both real findings and a syntax error is an
+        # incomplete report: the config-error code must win.
+        root = tree(
+            {
+                "repro/core/bad.py": MIXED,
+                "repro/core/broken.py": "def broken(:\n",
+            }
+        )
+        assert main(["lint", root]) == 2
+
+    def test_unknown_rule_id_exits_two(self, tree, capsys):
+        root = tree({"repro/core/mod.py": CLEAN})
+        assert main(["lint", "--select", "REP999", root]) == 2
+        assert "unknown rule ids" in capsys.readouterr().err
+
+
+class TestDataflowFlags:
+    def test_no_dataflow_skips_the_unit_tier(self, tree, capsys):
+        root = tree({"repro/core/mod.py": MIXED})
+        assert main(["lint", "--no-dataflow", root]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_json_report_carries_dataflow_findings(self, tree, capsys):
+        root = tree({"repro/core/mod.py": MIXED})
+        assert main(["lint", "--format", "json", root]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["REP011"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule_id"] == "REP011"
+        assert finding["line"] == 2
+
+    def test_list_rules_documents_the_unit_tier(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP011", "REP012", "REP013", "REP014", "REP015"):
+            assert rule_id in out

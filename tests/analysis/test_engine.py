@@ -25,7 +25,9 @@ def ids(findings):
 
 class TestRegistry:
     def test_all_rules_cover_the_documented_catalogue(self):
-        expected = {f"REP00{n}" for n in range(1, 10)} | {"REP010"}
+        expected = {f"REP00{n}" for n in range(1, 10)} | {
+            f"REP01{n}" for n in range(6)
+        }
         assert {rule.rule_id for rule in all_rules()} == expected
 
     def test_every_rule_has_a_title(self):
