@@ -23,9 +23,12 @@ from repro.analysis.audit import (
 from repro.analysis.engine import (
     Finding,
     all_rules,
+    apply_baseline,
     lint_paths,
+    load_baseline,
     render_json,
     render_text,
+    snapshot_baseline,
 )
 
 __all__ = [
@@ -34,7 +37,10 @@ __all__ = [
     "DeterminismReport",
     "Finding",
     "all_rules",
+    "apply_baseline",
     "lint_paths",
+    "load_baseline",
     "render_json",
     "render_text",
+    "snapshot_baseline",
 ]

@@ -12,16 +12,27 @@ the two tools never fight over a comment::
     self._clock = time.time  # repro: noqa REP001 -- wall-clock is the point
 
 A bare ``# repro: noqa`` (no ids) suppresses every rule on that line.
-Anything after ``--`` is a human-readable reason and is ignored by the
-parser (but reviewers should insist on one).
+Anything after ``--`` is the human-readable reason; the engine itself
+enforces hygiene on these comments (:class:`SuppressionRule`): a noqa
+that no longer suppresses any finding is reported as stale (REP022) and
+one without a ``-- reason`` is flagged (REP023), so waivers cannot
+silently outlive the hazard they excused.
+
+Baselines (``lint --baseline``) let a new rule family ratchet instead
+of blocking adoption: a snapshot of today's findings is committed, only
+*new* findings fail the run, and fixed findings must be removed from
+the snapshot (stale baseline entries fail too, so the file only ever
+shrinks).
 """
 
 from __future__ import annotations
 
 import ast
 import dataclasses
+import io
 import json
 import re
+import tokenize
 import typing as t
 from pathlib import Path
 
@@ -30,6 +41,7 @@ PARSE_ERROR_ID = "REP000"
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa\b\s*(?P<ids>[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)?"
+    r"(?P<reason>\s*--\s*\S.*)?"
 )
 
 
@@ -144,6 +156,47 @@ class DataflowRule(Rule):
         raise NotImplementedError
 
 
+class InterleaveRule(Rule):
+    """A rule over the yield-point interleaving model.
+
+    Third project-wide tier, sibling to :class:`DataflowRule`: receives
+    an :class:`~repro.analysis.interleave.InterleaveModel` — per-function
+    control-flow graphs for generator functions that drive sim
+    processes, with yield expressions as *barrier* nodes and shared
+    (``self.*``) accesses classified (see
+    :mod:`repro.analysis.interleave`).  Built lazily once per run;
+    disabled with ``lint_paths(..., interleave=False)`` (the CLI's
+    ``--no-interleave``).
+    """
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> t.Iterator[Finding]:
+        return iter(())
+
+    def check_interleave(self, model: t.Any) -> t.Iterator[Finding]:
+        raise NotImplementedError
+
+
+class SuppressionRule(Rule):
+    """A rule about the ``# repro: noqa`` comments themselves.
+
+    These do not inspect the AST — the engine runs them after every
+    other tier, over the suppression comments it collected and the
+    record of which ones actually matched a finding.  ``kind`` selects
+    the check: ``"stale"`` (comment suppressed nothing this run) or
+    ``"reason"`` (comment lacks a ``-- reason`` trailer).  Their own
+    findings honour suppression comments like any other rule's.
+    """
+
+    #: Which engine-side check this rule id names.
+    kind: str = ""
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> t.Iterator[Finding]:
+        return iter(())
+
+    def message(self, comment: "NoqaComment") -> str:
+        raise NotImplementedError
+
+
 _REGISTRY: dict[str, type[Rule]] = {}
 
 R = t.TypeVar("R", bound=type[Rule])
@@ -201,6 +254,67 @@ def suppressed_ids(line: str) -> frozenset[str] | None:
     return frozenset(part.strip() for part in ids.split(","))
 
 
+@dataclasses.dataclass(frozen=True)
+class NoqaComment:
+    """One ``# repro: noqa`` comment, located and parsed.
+
+    ``ids`` empty means bare (suppress everything); ``has_reason`` is
+    whether a ``-- reason`` trailer follows the ids.
+    """
+
+    line: int
+    col: int
+    ids: frozenset[str]
+    has_reason: bool
+
+
+def scan_noqa_comments(source: str) -> dict[int, NoqaComment]:
+    """Locate every real ``# repro: noqa`` comment in ``source``.
+
+    Tokenize-based so noqa-shaped text inside strings and docstrings
+    (this module's own docstring, test fixtures quoting suppression
+    syntax) is never mistaken for a live suppression.  Falls back to
+    empty on tokenize errors — the caller already surfaced REP000 for
+    files ``ast.parse`` rejects, and anything ast parses tokenizes.
+    """
+    comments: dict[int, NoqaComment] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return comments
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _NOQA_RE.search(tok.string)
+        if match is None:
+            continue
+        ids = match.group("ids")
+        comments[tok.start[0]] = NoqaComment(
+            line=tok.start[0],
+            col=tok.start[1] + match.start() + 1,
+            ids=frozenset(p.strip() for p in ids.split(",")) if ids else frozenset(),
+            has_reason=match.group("reason") is not None,
+        )
+    return comments
+
+
+class _FileSuppressions:
+    """Per-file suppression index that records which comments matched."""
+
+    def __init__(self, source: str) -> None:
+        self.comments = scan_noqa_comments(source)
+        self.used: set[int] = set()
+
+    def suppresses(self, finding: Finding) -> bool:
+        comment = self.comments.get(finding.line)
+        if comment is None:
+            return False
+        if comment.ids and finding.rule_id not in comment.ids:
+            return False
+        self.used.add(comment.line)
+        return True
+
+
 def _is_suppressed(finding: Finding, lines: list[str]) -> bool:
     if not 1 <= finding.line <= len(lines):
         return False
@@ -219,14 +333,19 @@ def lint_paths(
     ignore: t.Collection[str] | None = None,
     root: Path | None = None,
     dataflow: bool = True,
+    interleave: bool = True,
 ) -> list[Finding]:
     """Run every (selected) rule over every Python file under ``paths``.
 
     ``select`` restricts the run to the given rule ids; ``ignore`` drops
     ids from whatever is selected.  ``dataflow=False`` skips the
     symbol-resolved unit-flow tier (:class:`DataflowRule` subclasses)
-    entirely — no model is built.  Unparseable files surface as
-    :data:`PARSE_ERROR_ID` findings rather than crashing the run.
+    and ``interleave=False`` the yield-point CFG tier
+    (:class:`InterleaveRule` subclasses) — no model is built for a
+    skipped tier.  Unparseable files surface as :data:`PARSE_ERROR_ID`
+    findings rather than crashing the run.  After all tiers, the
+    suppression-hygiene pass (:class:`SuppressionRule`) reports noqa
+    comments that suppressed nothing or lack a reason.
     """
     rules = all_rules()
     if select:
@@ -243,15 +362,19 @@ def lint_paths(
         rules = [rule for rule in rules if rule.rule_id not in dropped]
     if not dataflow:
         rules = [r for r in rules if not isinstance(r, DataflowRule)]
+    if not interleave:
+        rules = [r for r in rules if not isinstance(r, InterleaveRule)]
 
-    file_rules = [
-        r for r in rules if not isinstance(r, (ProjectRule, DataflowRule))
-    ]
+    special = (ProjectRule, DataflowRule, InterleaveRule, SuppressionRule)
+    file_rules = [r for r in rules if not isinstance(r, special)]
     project_rules = [r for r in rules if isinstance(r, ProjectRule)]
     dataflow_rules = [r for r in rules if isinstance(r, DataflowRule)]
+    interleave_rules = [r for r in rules if isinstance(r, InterleaveRule)]
+    suppression_rules = [r for r in rules if isinstance(r, SuppressionRule)]
 
     findings: list[Finding] = []
     parsed: list[tuple[ast.Module, FileContext]] = []
+    suppressions: dict[str, _FileSuppressions] = {}
     for path in iter_python_files(paths):
         try:
             source = path.read_text(encoding="utf-8")
@@ -275,30 +398,86 @@ def lint_paths(
             )
             continue
         parsed.append((tree, ctx))
+        supp = suppressions[ctx.rel_path] = _FileSuppressions(source)
         for rule in file_rules:
             if not rule.applies_to(ctx):
                 continue
             for finding in rule.check(tree, ctx):
-                if not _is_suppressed(finding, ctx.lines):
+                if not supp.suppresses(finding):
                     findings.append(finding)
-    if project_rules or dataflow_rules:
-        lines_by_path = {ctx.rel_path: ctx.lines for _, ctx in parsed}
-        for rule in project_rules:
-            for finding in rule.check_project(parsed):
-                lines = lines_by_path.get(finding.path, [])
-                if not _is_suppressed(finding, lines):
-                    findings.append(finding)
-        if dataflow_rules:
-            # Imported lazily: the dataflow package depends on this
-            # module, and per-file-only runs should not pay for it.
-            from repro.analysis.dataflow import build_model
 
-            model = build_model(parsed)
-            for rule in dataflow_rules:
-                for finding in rule.check_dataflow(model):
-                    lines = lines_by_path.get(finding.path, [])
-                    if not _is_suppressed(finding, lines):
-                        findings.append(finding)
+    def run_tier(produced: t.Iterator[Finding]) -> None:
+        for finding in produced:
+            supp = suppressions.get(finding.path)
+            if supp is None or not supp.suppresses(finding):
+                findings.append(finding)
+
+    for rule in project_rules:
+        run_tier(rule.check_project(parsed))
+    if dataflow_rules:
+        # Imported lazily: the dataflow package depends on this
+        # module, and per-file-only runs should not pay for it.
+        from repro.analysis.dataflow import build_model
+
+        model = build_model(parsed)
+        for rule in dataflow_rules:
+            run_tier(rule.check_dataflow(model))
+    if interleave_rules:
+        from repro.analysis.interleave import build_model as build_interleave
+
+        imodel = build_interleave(parsed)
+        for rule in interleave_rules:
+            run_tier(rule.check_interleave(imodel))
+
+    if suppression_rules:
+        # A noqa naming only rule ids that did not run this pass cannot
+        # be judged stale; bare noqa can only be judged on a full run.
+        ran_ids = {
+            r.rule_id for r in rules if not isinstance(r, SuppressionRule)
+        }
+        registered = {r.rule_id for r in all_rules()}
+        full_run = (
+            not select and not ignore and dataflow and interleave
+        )
+        stale_rules = [r for r in suppression_rules if r.kind == "stale"]
+        reason_rules = [r for r in suppression_rules if r.kind == "reason"]
+        hygiene: list[Finding] = []
+        for _, ctx in parsed:
+            supp = suppressions[ctx.rel_path]
+            for line, comment in sorted(supp.comments.items()):
+                for rule in reason_rules:
+                    if not comment.has_reason:
+                        hygiene.append(
+                            Finding(
+                                ctx.rel_path,
+                                line,
+                                comment.col,
+                                rule.rule_id,
+                                rule.message(comment),
+                            )
+                        )
+                if line in supp.used:
+                    continue
+                stale = bool(comment.ids - registered) or (
+                    comment.ids <= ran_ids if comment.ids else full_run
+                )
+                if stale:
+                    for rule in stale_rules:
+                        hygiene.append(
+                            Finding(
+                                ctx.rel_path,
+                                line,
+                                comment.col,
+                                rule.rule_id,
+                                rule.message(comment),
+                            )
+                        )
+        # Hygiene findings are about the noqa comment itself, so the
+        # comment cannot suppress them (a bare noqa would otherwise
+        # self-excuse its missing reason): the fix is to edit or
+        # delete the comment, not to waive the waiver.
+        findings.extend(hygiene)
+
     findings.sort()
     return findings
 
@@ -338,3 +517,76 @@ def _count_by_rule(findings: t.Sequence[Finding]) -> dict[str, int]:
     for finding in findings:
         counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
     return counts
+
+
+# ----------------------------------------------------------------------
+# Baselines (ratchet)
+# ----------------------------------------------------------------------
+def baseline_key(finding: Finding) -> str:
+    """Stable identity for baseline matching.
+
+    Deliberately excludes the line/column so unrelated edits that shift
+    a known finding do not count as "new"; two findings with the same
+    path, rule and message are interchangeable for ratchet purposes.
+    """
+    return f"{finding.path}::{finding.rule_id}::{finding.message}"
+
+
+def snapshot_baseline(findings: t.Sequence[Finding]) -> dict[str, t.Any]:
+    """Serialize current findings into a committed-baseline payload.
+
+    Parse errors (:data:`PARSE_ERROR_ID`) are never baselined — a file
+    the engine cannot read must fail every run until fixed.
+    """
+    counts: dict[str, int] = {}
+    for finding in findings:
+        if finding.rule_id == PARSE_ERROR_ID:
+            continue
+        key = baseline_key(finding)
+        counts[key] = counts.get(key, 0) + 1
+    return {"version": 1, "entries": dict(sorted(counts.items()))}
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Read a baseline file, validating shape; raises ValueError."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != 1:
+        raise ValueError(f"baseline {path}: expected {{'version': 1, ...}}")
+    entries = data.get("entries")
+    if not isinstance(entries, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) and v > 0
+        for k, v in entries.items()
+    ):
+        raise ValueError(
+            f"baseline {path}: 'entries' must map keys to positive counts"
+        )
+    return dict(entries)
+
+
+def apply_baseline(
+    findings: t.Sequence[Finding], entries: dict[str, int]
+) -> tuple[list[Finding], dict[str, int]]:
+    """Split findings against a baseline.
+
+    Returns ``(new_findings, stale_entries)``: findings beyond the
+    baselined count for their key are new (parse errors are always
+    new), and baseline capacity nothing consumed is stale — the
+    ratchet direction, forcing the committed file to shrink as
+    findings are fixed.
+    """
+    remaining = dict(entries)
+    new: list[Finding] = []
+    for finding in sorted(findings):
+        if finding.rule_id == PARSE_ERROR_ID:
+            new.append(finding)
+            continue
+        key = baseline_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            new.append(finding)
+    stale = {k: v for k, v in remaining.items() if v > 0}
+    return new, stale

@@ -1,0 +1,390 @@
+"""Shared-state access classification over the yield-point CFG.
+
+Everything reachable through ``self`` is *shared*: another process
+interleaved at a yield can mutate it.  A local variable holding a
+value read from shared state is a *snapshot* — valid until the next
+barrier, stale after it.  This module runs a forward taint analysis
+over :class:`~repro.analysis.interleave.cfg.CFG` nodes:
+
+* reading ``self.a.b`` taints the assigned local with a **shared**
+  taint carrying the dotted location;
+* calling a *volatile producer* (``lookup``/``peek``/``is_valid``/
+  ``is_connected``, the ``queue_length``/``user_count`` attributes, or
+  ``len(self.…)``) taints it with a **volatile** taint — the answer is
+  only good for the current sim instant;
+* crossing a barrier node marks every live taint stale;
+* reassignment kills taints (a fresh re-check after the yield produces
+  a fresh, non-stale taint — the sanctioned re-validation pattern).
+
+The reporting pass then surfaces two hazard families: a write to a
+shared location whose right-hand side uses a *stale* taint of the same
+location (read-modify-write spanning a yield, REP016), and any use of
+a stale *volatile* snapshot (REP017).  ``env.now`` reads are
+deliberately not volatile — ``deadline = self.env.now + timeout`` is
+the idiomatic way to pin a deadline before waiting, and re-reading the
+clock after the yield would change the meaning.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import typing as t
+
+from repro.analysis.interleave.cfg import CFG, CFGNode, _header_parts
+
+#: Zero-cost reads whose answer is only valid at the current instant.
+VOLATILE_METHODS = frozenset({"lookup", "peek", "is_valid", "is_connected"})
+VOLATILE_ATTRS = frozenset({"queue_length", "user_count"})
+
+SHARED = "shared"
+VOLATILE = "volatile"
+
+
+@dataclasses.dataclass(frozen=True)
+class Taint:
+    """One fact about a local: where its value came from.
+
+    ``var`` is the local the taint was first bound to at its origin;
+    taints propagated into derived locals keep it, so reports name the
+    snapshot variable, not whatever it flowed into.
+    """
+
+    loc: str
+    kind: str
+    stale: bool
+    origin_line: int
+    var: str | None = None
+
+
+State = t.Mapping[str, frozenset[Taint]]
+
+
+@dataclasses.dataclass(frozen=True)
+class RMWHazard:
+    """Write of a shared location using a stale read of the same one."""
+
+    write_line: int
+    write_col: int
+    loc: str
+    var: str | None
+    read_line: int
+
+
+@dataclasses.dataclass(frozen=True)
+class SnapshotHazard:
+    """A volatile snapshot used after a yield without re-validation."""
+
+    def_line: int
+    def_col: int
+    var: str
+    producer: str
+    use_line: int
+
+
+def attr_chain(node: ast.expr) -> str | None:
+    """Dotted name for a pure Name/Attribute chain, else None."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+@dataclasses.dataclass
+class ExprInfo:
+    """Reads performed by one expression (own nesting level only)."""
+
+    shared: set[str] = dataclasses.field(default_factory=set)
+    volatile: set[str] = dataclasses.field(default_factory=set)
+    names: set[str] = dataclasses.field(default_factory=set)
+
+
+def _scan_expr(expr: ast.AST, info: ExprInfo) -> None:
+    if isinstance(expr, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        return
+    if isinstance(expr, ast.Call):
+        func_chain = (
+            attr_chain(expr.func)
+            if isinstance(expr.func, (ast.Attribute, ast.Name))
+            else None
+        )
+        if func_chain is not None:
+            method = func_chain.rsplit(".", 1)[-1]
+            if "." in func_chain and method in VOLATILE_METHODS:
+                info.volatile.add(func_chain)
+            # The call receiver is itself read (self.cache in
+            # self.cache.lookup(...)) minus the method component.
+            if isinstance(expr.func, ast.Attribute):
+                _scan_expr(expr.func.value, info)
+            elif isinstance(expr.func, ast.Name):
+                info.names.add(expr.func.id)
+        else:
+            _scan_expr(expr.func, info)
+        if (
+            isinstance(expr.func, ast.Name)
+            and expr.func.id == "len"
+            and len(expr.args) == 1
+        ):
+            chain = attr_chain(expr.args[0])
+            if chain is not None and chain.startswith("self."):
+                info.volatile.add(f"len({chain})")
+        for arg in expr.args:
+            _scan_expr(arg, info)
+        for kw in expr.keywords:
+            _scan_expr(kw.value, info)
+        return
+    if isinstance(expr, (ast.Attribute, ast.Name)):
+        chain = attr_chain(expr)
+        if chain is None:
+            for child in ast.iter_child_nodes(expr):
+                _scan_expr(child, info)
+            return
+        root = chain.split(".", 1)[0]
+        if root == "self":
+            if "." in chain:
+                info.shared.add(chain)
+                if chain.rsplit(".", 1)[-1] in VOLATILE_ATTRS:
+                    info.volatile.add(chain)
+        else:
+            info.names.add(root)
+        return
+    for child in ast.iter_child_nodes(expr):
+        _scan_expr(child, info)
+
+
+def expr_info(*exprs: ast.AST) -> ExprInfo:
+    info = ExprInfo()
+    for expr in exprs:
+        _scan_expr(expr, info)
+    return info
+
+
+def _node_uses(node: CFGNode) -> ExprInfo:
+    """Expressions evaluated at this node (compound headers only)."""
+    if node.stmt is None:
+        return ExprInfo()
+    stmt = node.stmt
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        parts: list[ast.AST] = []
+        if stmt.value is not None:
+            parts.append(stmt.value)
+        if isinstance(stmt, ast.AugAssign):
+            parts.append(stmt.target)
+        # Subscript/attribute targets read their base too.
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        for target in targets:
+            if isinstance(target, ast.Subscript):
+                parts.append(target.value)
+                parts.append(target.slice)
+        return expr_info(*parts)
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return expr_info(*[item.context_expr for item in stmt.items])
+    return expr_info(*_header_parts(stmt))
+
+
+def _assigned_names(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for elt in target.elts:
+            names.extend(_assigned_names(elt))
+        return names
+    if isinstance(target, ast.Starred):
+        return _assigned_names(target.value)
+    return []
+
+
+def _shared_write_locs(stmt: ast.stmt) -> list[str]:
+    """Shared locations this statement assigns to (self.* targets)."""
+    if isinstance(stmt, ast.Assign):
+        targets: list[ast.expr] = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    else:
+        return []
+    locs: list[str] = []
+    for target in targets:
+        if isinstance(target, ast.Attribute):
+            chain = attr_chain(target)
+            if chain is not None and chain.startswith("self."):
+                locs.append(chain)
+    return locs
+
+
+def _staleize(state: dict[str, frozenset[Taint]]) -> dict[str, frozenset[Taint]]:
+    return {
+        name: frozenset(dataclasses.replace(tt, stale=True) for tt in taints)
+        for name, taints in state.items()
+    }
+
+
+def _value_taints(
+    info: ExprInfo, state: State, line: int, bound_to: str | None = None
+) -> frozenset[Taint]:
+    taints: set[Taint] = set()
+    for name in info.names:
+        taints.update(state.get(name, frozenset()))
+    for loc in info.shared:
+        taints.add(
+            Taint(
+                loc=loc,
+                kind=SHARED,
+                stale=False,
+                origin_line=line,
+                var=bound_to,
+            )
+        )
+    for producer in info.volatile:
+        taints.add(
+            Taint(
+                loc=producer,
+                kind=VOLATILE,
+                stale=False,
+                origin_line=line,
+                var=bound_to,
+            )
+        )
+    return frozenset(taints)
+
+
+def _transfer(
+    node: CFGNode, state: dict[str, frozenset[Taint]]
+) -> dict[str, frozenset[Taint]]:
+    out = dict(state)
+    if node.is_barrier:
+        out = _staleize(out)
+    stmt = node.stmt
+    if stmt is None:
+        return out
+    line = node.line
+    if isinstance(stmt, ast.Assign):
+        info = expr_info(stmt.value)
+        for target in stmt.targets:
+            for name in _assigned_names(target):
+                out[name] = _value_taints(info, out, line, bound_to=name)
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        info = expr_info(stmt.value)
+        for name in _assigned_names(stmt.target):
+            out[name] = _value_taints(info, out, line, bound_to=name)
+    elif isinstance(stmt, ast.AugAssign):
+        value = _value_taints(expr_info(stmt.value), out, line)
+        for name in _assigned_names(stmt.target):
+            out[name] = out.get(name, frozenset()) | value
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        value = _value_taints(expr_info(stmt.iter), out, line)
+        for name in _assigned_names(stmt.target):
+            out[name] = value
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is None:
+                continue
+            value = _value_taints(expr_info(item.context_expr), out, line)
+            for name in _assigned_names(item.optional_vars):
+                out[name] = value
+    return out
+
+
+def _join(
+    states: t.Sequence[dict[str, frozenset[Taint]]],
+) -> dict[str, frozenset[Taint]]:
+    joined: dict[str, frozenset[Taint]] = {}
+    for state in states:
+        for name, taints in state.items():
+            joined[name] = joined.get(name, frozenset()) | taints
+    return joined
+
+
+def analyze(cfg: CFG) -> tuple[list[RMWHazard], list[SnapshotHazard]]:
+    """Fixpoint taint analysis; returns (RMW hazards, snapshot hazards)."""
+    preds = cfg.preds()
+    in_states: dict[int, dict[str, frozenset[Taint]]] = {
+        node.node_id: {} for node in cfg.nodes
+    }
+    out_states: dict[int, dict[str, frozenset[Taint]]] = {
+        node.node_id: {} for node in cfg.nodes
+    }
+    changed = True
+    iterations = 0
+    while changed and iterations < 200:
+        changed = False
+        iterations += 1
+        for node in cfg.nodes:
+            in_state = _join([out_states[p] for p in preds[node.node_id]])
+            out_state = _transfer(node, in_state)
+            if in_state != in_states[node.node_id]:
+                in_states[node.node_id] = in_state
+                changed = True
+            if out_state != out_states[node.node_id]:
+                out_states[node.node_id] = out_state
+                changed = True
+
+    rmw: list[RMWHazard] = []
+    snapshots: dict[tuple[str, int], SnapshotHazard] = {}
+    for node in cfg.nodes:
+        if node.stmt is None:
+            continue
+        state = in_states[node.node_id]
+        uses = _node_uses(node)
+        # REP017 raw material: a stale volatile snapshot read here.
+        # One hazard per snapshot origin: taints propagated into
+        # derived locals all point back at the same stale probe.
+        for name in sorted(uses.names):
+            for taint in state.get(name, frozenset()):
+                if taint.kind == VOLATILE and taint.stale:
+                    key = (taint.loc, taint.origin_line)
+                    if key not in snapshots:
+                        snapshots[key] = SnapshotHazard(
+                            def_line=taint.origin_line,
+                            def_col=1,
+                            var=taint.var or name,
+                            producer=taint.loc,
+                            use_line=node.line,
+                        )
+        # REP016 raw material: shared write fed by a stale read of the
+        # same location.
+        write_locs = _shared_write_locs(node.stmt)
+        if not write_locs:
+            continue
+        for loc in write_locs:
+            flagged = False
+            for name in sorted(uses.names):
+                for taint in state.get(name, frozenset()):
+                    if (
+                        taint.kind == SHARED
+                        and taint.stale
+                        and taint.loc == loc
+                    ):
+                        rmw.append(
+                            RMWHazard(
+                                write_line=node.line,
+                                write_col=node.stmt.col_offset + 1,
+                                loc=loc,
+                                var=name,
+                                read_line=taint.origin_line,
+                            )
+                        )
+                        flagged = True
+                        break
+                if flagged:
+                    break
+            if not flagged and node.is_barrier and loc in uses.shared:
+                # e.g. ``self.x = self.x + (yield ...)``: read and
+                # write straddle the suspension inside one statement.
+                rmw.append(
+                    RMWHazard(
+                        write_line=node.line,
+                        write_col=node.stmt.col_offset + 1,
+                        loc=loc,
+                        var=None,
+                        read_line=node.line,
+                    )
+                )
+    return rmw, sorted(snapshots.values(), key=lambda h: (h.def_line, h.var))

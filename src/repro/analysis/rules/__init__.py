@@ -9,8 +9,10 @@ from repro.analysis.rules import (  # noqa: F401
     defaults,
     events,
     floats,
+    interleave,
     ordering,
     randomness,
+    suppressions,
     taxonomy,
     units,
     wallclock,
@@ -20,8 +22,10 @@ __all__ = [
     "defaults",
     "events",
     "floats",
+    "interleave",
     "ordering",
     "randomness",
+    "suppressions",
     "taxonomy",
     "units",
     "wallclock",

@@ -1,0 +1,53 @@
+"""REP022–REP023 — hygiene of the ``# repro: noqa`` comments themselves.
+
+The engine runs these after every other tier (see
+:class:`~repro.analysis.engine.SuppressionRule`): it knows which
+suppression comments actually matched a finding, so a waiver that no
+longer waives anything is *stale* (REP022 — delete it, the hazard is
+gone or the line moved), and a waiver without a ``-- reason`` trailer
+is unreviewable (REP023 — future readers cannot tell deliberate from
+cargo-cult).  Neither finding can be suppressed by the comment it is
+about: the fix is to edit or delete the comment.
+
+Staleness is judged conservatively: a comment naming rule ids is only
+stale when every named rule actually ran this pass, and a bare noqa
+only on a full run (no ``--select``/``--ignore``, all tiers enabled),
+so partial runs never produce false stale reports.  Unknown rule ids
+are always stale — they never suppressed anything.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import NoqaComment, SuppressionRule, register_rule
+
+
+@register_rule
+class StaleSuppression(SuppressionRule):
+    rule_id = "REP022"
+    title = "noqa comment no longer suppresses any finding — delete it"
+    kind = "stale"
+
+    def message(self, comment: NoqaComment) -> str:
+        if comment.ids:
+            ids = ", ".join(sorted(comment.ids))
+            return (
+                f"stale suppression: no {ids} finding on this line any "
+                "more — delete the noqa comment"
+            )
+        return (
+            "stale suppression: this bare noqa suppresses nothing — "
+            "delete it"
+        )
+
+
+@register_rule
+class SuppressionWithoutReason(SuppressionRule):
+    rule_id = "REP023"
+    title = "noqa comment lacks a '-- reason' trailer"
+    kind = "reason"
+
+    def message(self, comment: NoqaComment) -> str:
+        return (
+            "suppression without a reason: append '-- <why this is "
+            "safe>' so the waiver can be reviewed"
+        )

@@ -203,12 +203,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint_parser = sub.add_parser(
         "lint",
-        help="run the determinism + unit-dataflow lint (REP rules) "
-             "over Python sources",
-        description="Exit codes: 0 = clean, 1 = violations found, "
-                    "2 = parse/config error (unreadable or "
+        help="run the determinism + unit-dataflow + interleave lint "
+             "(REP rules) over Python sources",
+        description="Exit codes: 0 = clean, 1 = violations found (or, "
+                    "with --baseline, new findings / stale baseline "
+                    "entries), 2 = parse/config error (unreadable or "
                     "syntactically broken file [REP000], unknown rule "
-                    "id).",
+                    "id, unreadable baseline).",
     )
     lint_parser.add_argument("paths", nargs="*", default=["src"],
                              help="files or directories (default: src)")
@@ -222,6 +223,17 @@ def _build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--no-dataflow", action="store_true",
                              help="skip the symbol-resolved unit-flow "
                                   "tier (REP011-REP015)")
+    lint_parser.add_argument("--no-interleave", action="store_true",
+                             help="skip the yield-point CFG tier "
+                                  "(REP016-REP021, REP024)")
+    lint_parser.add_argument("--baseline", default=None, metavar="FILE",
+                             help="only fail on findings not in this "
+                                  "baseline snapshot; stale baseline "
+                                  "entries also fail (ratchet)")
+    lint_parser.add_argument("--write-baseline", default=None,
+                             metavar="FILE",
+                             help="snapshot current findings to FILE "
+                                  "and exit 0 (unless REP000)")
     lint_parser.add_argument("--list-rules", action="store_true",
                              help="print the rule catalogue and exit")
     return parser
@@ -308,7 +320,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis import all_rules, lint_paths, render_json, render_text
+    import json as _json
+    from pathlib import Path
+
+    from repro.analysis import (
+        all_rules,
+        apply_baseline,
+        lint_paths,
+        load_baseline,
+        render_json,
+        render_text,
+        snapshot_baseline,
+    )
     from repro.analysis.engine import PARSE_ERROR_ID
 
     if args.list_rules:
@@ -318,15 +341,45 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     select = args.select.split(",") if args.select else None
     ignore = args.ignore.split(",") if args.ignore else None
     try:
+        baseline = (
+            load_baseline(Path(args.baseline)) if args.baseline else None
+        )
         findings = lint_paths(
             args.paths,
             select=select,
             ignore=ignore,
             dataflow=not args.no_dataflow,
+            interleave=not args.no_interleave,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    parse_errors = any(f.rule_id == PARSE_ERROR_ID for f in findings)
+    if args.write_baseline:
+        Path(args.write_baseline).write_text(
+            _json.dumps(snapshot_baseline(findings), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(
+            f"baseline written to {args.write_baseline} "
+            f"({len(findings)} finding(s))"
+        )
+        return 2 if parse_errors else 0
+    if baseline is not None:
+        new, stale = apply_baseline(findings, baseline)
+        if args.output_format == "json":
+            print(render_json(new))
+        else:
+            print(render_text(new))
+        for key, count in sorted(stale.items()):
+            print(
+                f"stale baseline entry ({count} unmatched): {key}",
+                file=sys.stderr,
+            )
+        if parse_errors:
+            return 2
+        return 1 if new or stale else 0
     if args.output_format == "json":
         print(render_json(findings))
     else:
@@ -334,7 +387,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     # Exit-code contract (asserted by the CLI tests): 2 = the lint
     # itself could not do its job (unparseable input), 1 = rule
     # violations, 0 = clean.  CI failures are attributable at a glance.
-    if any(f.rule_id == PARSE_ERROR_ID for f in findings):
+    if parse_errors:
         return 2
     return 1 if findings else 0
 

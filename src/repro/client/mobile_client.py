@@ -276,7 +276,13 @@ class MobileClient:
         """Run one query to completion (``yield from`` inside a process)."""
         if issued_at is None:
             issued_at = self.env.now
-        connected = self.network.is_connected(self.client_id)
+        # The connectivity decision is pinned at query issue on
+        # purpose: the paper's client commits to a local or remote plan
+        # up front, and _remote_round re-probes before every
+        # transmission attempt anyway.
+        connected = self.network.is_connected(  # repro: noqa REP017 -- see comment
+            self.client_id
+        )
         if (
             self.invalidation is not None
             and connected
@@ -304,7 +310,7 @@ class MobileClient:
                 needed={
                     oid: tuple(attrs)
                     for oid, attrs in (
-                        probe.needed.items()  # repro: noqa REP003
+                        probe.needed.items()  # repro: noqa REP003 -- wire order
                     )
                 },
                 existent=tuple(probe.existent),
@@ -312,7 +318,7 @@ class MobileClient:
                 updates={
                     oid: tuple(changes)
                     for oid, changes in (
-                        probe.updates.items()  # repro: noqa REP003
+                        probe.updates.items()  # repro: noqa REP003 -- wire order
                     )
                 },
             )
@@ -392,8 +398,10 @@ class MobileClient:
                     yield self.env.timeout(delay)
                 if not self.network.is_connected(self.client_id):
                     # The link's scheduled disconnection opened while
-                    # backing off: no further attempt can succeed.
-                    break
+                    # backing off: no further attempt can succeed.  The
+                    # caller observes the None reply and emits
+                    # QueryDegraded, so this exit is not silent.
+                    break  # repro: noqa REP021 -- caller emits QueryDegraded
             self.bus.emit(
                 RequestSent(
                     time=self.env.now,

@@ -98,7 +98,7 @@ class LRUKPolicy(ReplacementPolicy):
         ghosts = [
             (history[-1], key)
             for key, history in (
-                self._history.items()  # repro: noqa REP003
+                self._history.items()  # repro: noqa REP003 -- sorted below
             )
             if key not in self._resident
         ]

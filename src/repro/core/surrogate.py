@@ -136,7 +136,7 @@ class LocalDatabase:
         dropped = 0
         # StorageCache.keys() returns a list snapshot, and per-key
         # invalidation is independent, so removal order is immaterial.
-        for key in self.cache.keys():  # repro: noqa REP003
+        for key in self.cache.keys():  # repro: noqa REP003 -- see above
             if key[0] == oid:
                 self.cache.invalidate(key, now)
                 dropped += 1

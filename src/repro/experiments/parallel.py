@@ -437,7 +437,7 @@ def merge_shards(
         for metrics in result.summary.clients:
             # Shard-local ids become global fleet ids at merge
             # time; no bus event carries this relabelling.
-            metrics.client_id += plan.client_base  # repro: noqa REP008
+            metrics.client_id += plan.client_base  # repro: noqa REP008 -- id relabel
             clients.append(metrics)
         for name, count in result.event_counts.items():
             event_counts[name] = event_counts.get(name, 0) + count

@@ -179,10 +179,16 @@ class WirelessChannel:
             started = self.env.now
             if deadline is not None and started + airtime > deadline:
                 # The link is scheduled to cut before this message could
-                # finish: spend the partial airtime, then abort.
+                # finish: spend the partial airtime, then abort.  An
+                # interrupt during that wait must account the same way
+                # — the bytes were on the air either way.
                 remaining = deadline - started
                 if remaining > 0:
-                    yield self.env.timeout(remaining)
+                    try:
+                        yield self.env.timeout(remaining)
+                    except BaseException:
+                        self._account_abort(size_bytes, airtime, started)
+                        raise
                 self._account_abort(size_bytes, airtime, started)
                 return ABORTED
             try:

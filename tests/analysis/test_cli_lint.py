@@ -91,3 +91,83 @@ class TestDataflowFlags:
         out = capsys.readouterr().out
         for rule_id in ("REP011", "REP012", "REP013", "REP014", "REP015"):
             assert rule_id in out
+
+    def test_list_rules_documents_the_interleave_tier(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "REP016",
+            "REP017",
+            "REP018",
+            "REP019",
+            "REP020",
+            "REP021",
+            "REP022",
+            "REP023",
+            "REP024",
+        ):
+            assert rule_id in out
+
+
+#: Trips REP016 (read-modify-write across a yield) and nothing else.
+INTERLEAVE_BAD = (
+    "class Counter:\n"
+    "    def run(self):\n"
+    "        total = self.bytes_sent\n"
+    "        yield self.env.timeout(1.0)\n"
+    "        self.bytes_sent = total + 1\n"
+)
+
+
+class TestInterleaveFlags:
+    def test_interleave_findings_exit_one(self, tree, capsys):
+        root = tree({"repro/sim/mod.py": INTERLEAVE_BAD})
+        assert main(["lint", root]) == 1
+        assert "REP016" in capsys.readouterr().out
+
+    def test_no_interleave_skips_the_tier(self, tree, capsys):
+        root = tree({"repro/sim/mod.py": INTERLEAVE_BAD})
+        assert main(["lint", "--no-interleave", root]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+
+class TestBaselineFlags:
+    def test_write_then_check_is_clean(self, tree, tmp_path, capsys):
+        root = tree({"repro/sim/mod.py": INTERLEAVE_BAD})
+        base = str(tmp_path / "base.json")
+        assert main(["lint", "--write-baseline", base, root]) == 0
+        assert main(["lint", "--baseline", base, root]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_new_finding_beyond_baseline_exits_one(self, tree, tmp_path, capsys):
+        root = tree({"repro/sim/mod.py": INTERLEAVE_BAD})
+        base = str(tmp_path / "base.json")
+        assert main(["lint", "--write-baseline", base, root]) == 0
+        tree({"repro/sim/extra.py": INTERLEAVE_BAD})
+        assert main(["lint", "--baseline", base, root]) == 1
+        out = capsys.readouterr().out
+        assert "repro/sim/extra.py" in out
+        assert "repro/sim/mod.py" not in out
+
+    def test_stale_baseline_entry_exits_one(self, tree, tmp_path, capsys):
+        root = tree({"repro/sim/mod.py": INTERLEAVE_BAD})
+        base = str(tmp_path / "base.json")
+        assert main(["lint", "--write-baseline", base, root]) == 0
+        (tmp_path / "repro" / "sim" / "mod.py").write_text("x = 1\n")
+        assert main(["lint", "--baseline", base, root]) == 1
+        captured = capsys.readouterr()
+        assert "stale baseline entry" in captured.err
+
+    def test_unreadable_baseline_exits_two(self, tree, tmp_path, capsys):
+        root = tree({"repro/core/mod.py": CLEAN})
+        base = tmp_path / "base.json"
+        base.write_text("not json")
+        assert main(["lint", "--baseline", str(base), root]) == 2
+        assert "unreadable baseline" in capsys.readouterr().err
+
+    def test_parse_error_still_beats_baseline(self, tree, tmp_path, capsys):
+        root = tree({"repro/core/broken.py": "def broken(:\n"})
+        base = str(tmp_path / "base.json")
+        # REP000 is never baselined: writing reports it and exits 2.
+        assert main(["lint", "--write-baseline", base, root]) == 2
+        assert main(["lint", "--baseline", base, root]) == 2

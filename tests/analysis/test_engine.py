@@ -25,9 +25,11 @@ def ids(findings):
 
 class TestRegistry:
     def test_all_rules_cover_the_documented_catalogue(self):
-        expected = {f"REP00{n}" for n in range(1, 10)} | {
-            f"REP01{n}" for n in range(6)
-        }
+        expected = (
+            {f"REP00{n}" for n in range(1, 10)}
+            | {f"REP01{n}" for n in range(10)}
+            | {"REP020", "REP021", "REP022", "REP023", "REP024"}
+        )
         assert {rule.rule_id for rule in all_rules()} == expected
 
     def test_every_rule_has_a_title(self):
@@ -90,27 +92,36 @@ class TestNoqa:
     def test_bare_noqa_suppresses_everything_on_the_line(self, lint):
         findings = lint(
             "repro/sim/mod.py",
-            "import time\nx = time.time()  # repro: noqa\n",
+            "import time\nx = time.time()  # repro: noqa -- why\n",
         )
         assert findings == []
+
+    def test_bare_noqa_without_reason_is_flagged(self, lint):
+        findings = lint(
+            "repro/sim/mod.py",
+            "import time\nx = time.time()  # repro: noqa\n",
+        )
+        assert ids(findings) == ["REP023"]
 
     def test_id_specific_noqa_suppresses_only_that_rule(self, lint):
         source = (
             "import time\n"
             "\n"
             "\n"
-            "def f(out=[]):  # repro: noqa REP007\n"
-            "    out.append(time.time())  # repro: noqa REP001\n"
+            "def f(out=[]):  # repro: noqa REP007 -- fixture\n"
+            "    out.append(time.time())  # repro: noqa REP001 -- fixture\n"
             "    return out\n"
         )
         assert lint("repro/sim/mod.py", source) == []
 
-    def test_wrong_id_does_not_suppress(self, lint):
+    def test_wrong_id_does_not_suppress_and_reads_stale(self, lint):
         findings = lint(
             "repro/sim/mod.py",
-            "import time\nx = time.time()  # repro: noqa REP007\n",
+            "import time\nx = time.time()  # repro: noqa REP007 -- why\n",
         )
-        assert ids(findings) == ["REP001"]
+        # The REP001 violation still surfaces, and the REP007 waiver
+        # suppressed nothing, so it is reported stale.
+        assert ids(findings) == ["REP001", "REP022"]
 
     def test_noqa_with_reason_text_still_suppresses(self, lint):
         findings = lint(
@@ -121,8 +132,9 @@ class TestNoqa:
         assert findings == []
 
     def test_plain_noqa_comment_is_not_ours(self, lint):
-        # Only the "# repro: noqa" spelling counts; a bare "# noqa"
-        # (ruff/flake8's) must not silence the determinism rules.
+        # Only the "repro: noqa" comment spelling counts; a bare
+        # "noqa" (ruff/flake8's) must not silence the determinism
+        # rules.
         findings = lint(
             "repro/sim/mod.py",
             "import time\nx = time.time()  # noqa\n",

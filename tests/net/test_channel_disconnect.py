@@ -120,6 +120,41 @@ class TestWirelessChannel:
         # The facility was held for those 0.25 s out of 1 s.
         assert channel.utilization() == pytest.approx(0.25)
 
+    def test_interrupt_during_deadline_abort_wait_is_accounted(self):
+        """Interrupting the pre-deadline partial-airtime wait must
+        account the abort exactly like an interrupt mid-airtime.
+
+        Found by REP020: the deadline-abort wait was the one yield in
+        ``transmit`` outside the ``except BaseException`` guard, so an
+        interrupt delivered there lost the partial transmission from
+        the channel statistics entirely.
+        """
+        env = Environment()
+        channel = WirelessChannel(env, bandwidth_bps=8_000)  # 1 kB/s
+        outcomes = []
+
+        def sender(env):
+            try:
+                # 1000 bytes needs 1 s of air but the link cuts at
+                # 0.5 s: transmit enters the deadline-abort wait.
+                yield from channel.transmit(1000, deadline=0.5)
+                outcomes.append("done")
+            except Interrupt:
+                outcomes.append(("interrupted", env.now))
+
+        def breaker(env, victim):
+            yield env.timeout(0.25)
+            victim.interrupt()
+
+        victim = env.process(sender(env))
+        env.process(breaker(env, victim))
+        env.run(until=1.0)
+        assert outcomes == [("interrupted", 0.25)]
+        # 0.25 s of the planned 1 s airtime = 250 bytes on the air.
+        assert channel.messages_aborted == 1
+        assert channel.bytes_aborted == pytest.approx(250.0)
+        assert channel.messages_carried == 0
+
     def test_interrupted_transmit_releases_the_channel(self):
         env = Environment()
         channel = WirelessChannel(env, bandwidth_bps=8_000)
